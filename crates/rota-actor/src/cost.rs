@@ -1,0 +1,300 @@
+//! The cost function Φ — mapping actor actions to resource amounts.
+//!
+//! The paper posits "a function Φ, which when provided as parameters an
+//! actor's uniquely identifying name, and the computation it is to perform,
+//! returns a set of resource amounts representing the required resources
+//! for completing the computation", and illustrates it with concrete
+//! constants (send = 4 network units, evaluate = 8 CPU, create = 5 CPU,
+//! ready = 1 CPU, migrate = 3 CPU out + network transfer + 3 CPU in).
+//! Footnote 3 stresses that Φ need not exist exactly — estimates suffice —
+//! so Φ is a trait here, with the paper's illustration constants as the
+//! default implementation.
+
+use rota_resource::{LocatedType, Location, Quantity};
+
+use crate::action::{ActionKind, ActorName};
+use crate::demand::ResourceDemand;
+
+/// The cost function Φ: everything needed to price one action.
+///
+/// Implementations are consulted with the actor's name, its *current*
+/// location (which [`ActorComputation`](crate::ActorComputation) threads
+/// through migrations), and the action. They return the set of resource
+/// amounts `{q}_ξ` the action requires.
+///
+/// The trait is object-safe so heterogeneous models can be boxed.
+pub trait CostModel {
+    /// Φ(actor, action) evaluated at `location = l(actor)`.
+    fn demand(&self, actor: &ActorName, location: &Location, action: &ActionKind)
+        -> ResourceDemand;
+}
+
+impl<T: CostModel + ?Sized> CostModel for &T {
+    fn demand(
+        &self,
+        actor: &ActorName,
+        location: &Location,
+        action: &ActionKind,
+    ) -> ResourceDemand {
+        (**self).demand(actor, location, action)
+    }
+}
+
+impl<T: CostModel + ?Sized> CostModel for Box<T> {
+    fn demand(
+        &self,
+        actor: &ActorName,
+        location: &Location,
+        action: &ActionKind,
+    ) -> ResourceDemand {
+        (**self).demand(actor, location, action)
+    }
+}
+
+/// Table-driven Φ parameterized by per-primitive constants; the default
+/// reproduces the paper's Section IV-A illustration exactly.
+///
+/// # Examples
+///
+/// ```
+/// use rota_actor::{ActionKind, ActorName, CostModel, TableCostModel};
+/// use rota_resource::{LocatedType, Location, Quantity};
+///
+/// let phi = TableCostModel::paper();
+/// let a1 = ActorName::new("a1");
+/// let l1 = Location::new("l1");
+///
+/// // Φ(a1, send(a2, m)) = {4}_⟨network, l(a1)→l(a2)⟩
+/// let d = phi.demand(&a1, &l1, &ActionKind::send("a2", "l2"));
+/// let link = LocatedType::network(l1.clone(), Location::new("l2"));
+/// assert_eq!(d.amount(&link), Quantity::new(4));
+///
+/// // Φ(a1, evaluate(e)) = {8}_⟨cpu, l(a1)⟩
+/// let d = phi.demand(&a1, &l1, &ActionKind::evaluate());
+/// assert_eq!(d.amount(&LocatedType::cpu(l1.clone())), Quantity::new(8));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableCostModel {
+    send_units: u64,
+    evaluate_units: u64,
+    create_units: u64,
+    ready_units: u64,
+    migrate_cpu_out: u64,
+    migrate_net: u64,
+    migrate_cpu_in: u64,
+}
+
+impl TableCostModel {
+    /// The paper's illustration constants: send 4, evaluate 8, create 5,
+    /// ready 1, migrate `{3}_cpu,origin, {0}_network, {3}_cpu,dest`.
+    pub fn paper() -> Self {
+        TableCostModel {
+            send_units: 4,
+            evaluate_units: 8,
+            create_units: 5,
+            ready_units: 1,
+            migrate_cpu_out: 3,
+            migrate_net: 0,
+            migrate_cpu_in: 3,
+        }
+    }
+
+    /// Sets the per-unit-size network cost of a send.
+    #[must_use]
+    pub fn with_send_units(mut self, units: u64) -> Self {
+        self.send_units = units;
+        self
+    }
+
+    /// Sets the default CPU cost of an evaluate (used when the action
+    /// carries no explicit work amount).
+    #[must_use]
+    pub fn with_evaluate_units(mut self, units: u64) -> Self {
+        self.evaluate_units = units;
+        self
+    }
+
+    /// Sets the CPU cost of a create.
+    #[must_use]
+    pub fn with_create_units(mut self, units: u64) -> Self {
+        self.create_units = units;
+        self
+    }
+
+    /// Sets the CPU cost of a ready.
+    #[must_use]
+    pub fn with_ready_units(mut self, units: u64) -> Self {
+        self.ready_units = units;
+        self
+    }
+
+    /// Sets the migrate costs: CPU to serialize at the origin, network to
+    /// transfer, CPU to unserialize at the destination.
+    #[must_use]
+    pub fn with_migrate_units(mut self, cpu_out: u64, net: u64, cpu_in: u64) -> Self {
+        self.migrate_cpu_out = cpu_out;
+        self.migrate_net = net;
+        self.migrate_cpu_in = cpu_in;
+        self
+    }
+}
+
+impl Default for TableCostModel {
+    /// Defaults to [`TableCostModel::paper`].
+    fn default() -> Self {
+        TableCostModel::paper()
+    }
+}
+
+impl CostModel for TableCostModel {
+    fn demand(
+        &self,
+        _actor: &ActorName,
+        location: &Location,
+        action: &ActionKind,
+    ) -> ResourceDemand {
+        let mut demand = ResourceDemand::new();
+        match action {
+            ActionKind::Send { dest, size, .. } => {
+                demand.add(
+                    LocatedType::network(location.clone(), dest.clone()),
+                    Quantity::new(self.send_units.saturating_mul(*size)),
+                );
+            }
+            ActionKind::Evaluate { work } => {
+                let units = work.map(Quantity::units).unwrap_or(self.evaluate_units);
+                demand.add(LocatedType::cpu(location.clone()), Quantity::new(units));
+            }
+            ActionKind::Create { .. } => {
+                demand.add(
+                    LocatedType::cpu(location.clone()),
+                    Quantity::new(self.create_units),
+                );
+            }
+            ActionKind::Ready => {
+                demand.add(
+                    LocatedType::cpu(location.clone()),
+                    Quantity::new(self.ready_units),
+                );
+            }
+            ActionKind::Migrate { dest } => {
+                demand.add(
+                    LocatedType::cpu(location.clone()),
+                    Quantity::new(self.migrate_cpu_out),
+                );
+                demand.add(
+                    LocatedType::network(location.clone(), dest.clone()),
+                    Quantity::new(self.migrate_net),
+                );
+                demand.add(
+                    LocatedType::cpu(dest.clone()),
+                    Quantity::new(self.migrate_cpu_in),
+                );
+            }
+        }
+        demand
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(name: &str) -> Location {
+        Location::new(name)
+    }
+
+    fn cpu(name: &str) -> LocatedType {
+        LocatedType::cpu(l(name))
+    }
+
+    fn phi() -> TableCostModel {
+        TableCostModel::paper()
+    }
+
+    fn a1() -> ActorName {
+        ActorName::new("a1")
+    }
+
+    /// Reproduces every Φ equation in Section IV-A with the paper's
+    /// constants.
+    #[test]
+    fn paper_cost_table() {
+        let phi = phi();
+        // send: {4}_⟨network, l1→l2⟩
+        let d = phi.demand(&a1(), &l("l1"), &ActionKind::send("a2", "l2"));
+        assert_eq!(
+            d.amount(&LocatedType::network(l("l1"), l("l2"))),
+            Quantity::new(4)
+        );
+        assert_eq!(d.len(), 1);
+        // evaluate: {8}_⟨cpu, l1⟩
+        let d = phi.demand(&a1(), &l("l1"), &ActionKind::evaluate());
+        assert_eq!(d.amount(&cpu("l1")), Quantity::new(8));
+        // create: {5}_⟨cpu, l1⟩
+        let d = phi.demand(&a1(), &l("l1"), &ActionKind::create("b"));
+        assert_eq!(d.amount(&cpu("l1")), Quantity::new(5));
+        // ready: {1}_⟨cpu, l1⟩
+        let d = phi.demand(&a1(), &l("l1"), &ActionKind::Ready);
+        assert_eq!(d.amount(&cpu("l1")), Quantity::new(1));
+        // migrate: {3}_⟨cpu, l1⟩, {0}_⟨network, l1→l2⟩, {3}_⟨cpu, l2⟩
+        let d = phi.demand(&a1(), &l("l1"), &ActionKind::migrate("l2"));
+        assert_eq!(d.amount(&cpu("l1")), Quantity::new(3));
+        assert_eq!(d.amount(&cpu("l2")), Quantity::new(3));
+        // the paper's network cost for migrate is 0, so the demand omits it
+        assert_eq!(
+            d.amount(&LocatedType::network(l("l1"), l("l2"))),
+            Quantity::ZERO
+        );
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn explicit_evaluate_work_overrides_default() {
+        let d = phi().demand(&a1(), &l("l1"), &ActionKind::evaluate_units(20));
+        assert_eq!(d.amount(&cpu("l1")), Quantity::new(20));
+    }
+
+    #[test]
+    fn send_scales_with_size() {
+        let action = ActionKind::Send {
+            to: ActorName::new("a2"),
+            dest: l("l2"),
+            size: 3,
+        };
+        let d = phi().demand(&a1(), &l("l1"), &action);
+        assert_eq!(
+            d.amount(&LocatedType::network(l("l1"), l("l2"))),
+            Quantity::new(12)
+        );
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let phi = TableCostModel::paper()
+            .with_send_units(10)
+            .with_evaluate_units(2)
+            .with_create_units(1)
+            .with_ready_units(7)
+            .with_migrate_units(1, 6, 2);
+        let d = phi.demand(&a1(), &l("l1"), &ActionKind::migrate("l2"));
+        assert_eq!(d.amount(&cpu("l1")), Quantity::new(1));
+        assert_eq!(
+            d.amount(&LocatedType::network(l("l1"), l("l2"))),
+            Quantity::new(6)
+        );
+        assert_eq!(d.amount(&cpu("l2")), Quantity::new(2));
+        let d = phi.demand(&a1(), &l("l1"), &ActionKind::Ready);
+        assert_eq!(d.amount(&cpu("l1")), Quantity::new(7));
+    }
+
+    #[test]
+    fn trait_objects_and_references_work() {
+        let boxed: Box<dyn CostModel> = Box::new(phi());
+        let d = boxed.demand(&a1(), &l("l1"), &ActionKind::Ready);
+        assert_eq!(d.amount(&cpu("l1")), Quantity::new(1));
+        let by_ref: &dyn CostModel = &*boxed;
+        let d = by_ref.demand(&a1(), &l("l1"), &ActionKind::Ready);
+        assert_eq!(d.amount(&cpu("l1")), Quantity::new(1));
+    }
+}

@@ -1,0 +1,55 @@
+//! Computation representation for ROTA (Section IV of the paper).
+//!
+//! ROTA represents a distributed computation **by its resource
+//! requirements** rather than by what it does: each actor is a sequence of
+//! the five actor primitives (send / evaluate / create / ready / migrate),
+//! each priced by the cost function Φ into located resource amounts.
+//!
+//! * [`ActorName`], [`ActionKind`] — actors and the five primitives.
+//! * [`ResourceDemand`] — a set of resource amounts `{q}_ξ`.
+//! * [`CostModel`] / [`TableCostModel`] — the paper's Φ, pluggable; the
+//!   default reproduces the paper's illustration constants.
+//! * [`ActorComputation`] (`Γ`), [`ActorProgress`] — sequential actor
+//!   computations with Definition-1 "possible action" tracking.
+//! * [`DistributedComputation`] — the triple `(Λ, s, d)`.
+//! * [`SimpleRequirement`], [`ComplexRequirement`],
+//!   [`ConcurrentRequirement`] — the three levels of `ρ`, including the
+//!   satisfaction function `f`.
+//! * [`segment_demands`] / [`Granularity`] — the paper's subcomputation
+//!   segmentation, with the maximal-run optimization.
+//!
+//! # Example: pricing the paper's message send
+//!
+//! ```
+//! use rota_actor::{ActionKind, ActorName, CostModel, TableCostModel};
+//! use rota_resource::{LocatedType, Location, Quantity};
+//!
+//! let phi = TableCostModel::paper();
+//! let demand = phi.demand(
+//!     &ActorName::new("a1"),
+//!     &Location::new("l1"),
+//!     &ActionKind::send("a2", "l2"),
+//! );
+//! // Φ(a1, send(a2, m)) = {4}_⟨network, l(a1)→l(a2)⟩
+//! let link = LocatedType::network(Location::new("l1"), Location::new("l2"));
+//! assert_eq!(demand.amount(&link), Quantity::new(4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod computation;
+mod cost;
+mod demand;
+mod requirement;
+mod segment;
+
+pub use action::{ActionKind, ActorName};
+pub use computation::{
+    ActorComputation, ActorProgress, DistributedComputation, InvalidWindowError,
+};
+pub use cost::{CostModel, TableCostModel};
+pub use demand::ResourceDemand;
+pub use requirement::{ComplexRequirement, ConcurrentRequirement, SimpleRequirement};
+pub use segment::{segment_demands, Granularity};

@@ -1,0 +1,84 @@
+//! E4 — Theorem-4 incremental admission: decision latency vs the number
+//! of computations already committed.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rota_actor::{
+    ActionKind, ActorComputation, DistributedComputation, Granularity, TableCostModel,
+};
+use rota_admission::{
+    AdmissionPolicy, AdmissionRequest, GreedyEdfPolicy, NaiveTotalPolicy, RotaPolicy,
+};
+use rota_interval::TimePoint;
+use rota_logic::State;
+use rota_resource::{LocatedType, Location, Rate, ResourceSet, ResourceTerm};
+
+const HORIZON: u64 = 4_096;
+
+fn request(name: &str, node: usize, deadline: u64) -> AdmissionRequest {
+    let gamma = ActorComputation::new(format!("{name}-actor"), format!("l{node}"))
+        .then(ActionKind::evaluate())
+        .then(ActionKind::evaluate());
+    AdmissionRequest::price(
+        DistributedComputation::single(name, gamma, TimePoint::ZERO, TimePoint::new(deadline))
+            .expect("deadline > 0"),
+        &TableCostModel::paper(),
+        Granularity::MaximalRun,
+    )
+}
+
+/// A state with `n` computations already committed across 8 nodes.
+fn committed_state(n: usize) -> State {
+    let window = rota_interval::TimeInterval::from_ticks(0, HORIZON).expect("valid");
+    let theta = ResourceSet::from_terms((0..8).map(|i| {
+        ResourceTerm::new(
+            Rate::new(4),
+            window,
+            LocatedType::cpu(Location::new(format!("l{i}"))),
+        )
+    }))
+    .expect("bounded rates");
+    let mut state = State::new(theta, TimePoint::ZERO);
+    for k in 0..n {
+        let req = request(&format!("pre{k}"), k % 8, HORIZON);
+        if let rota_admission::Decision::Accept(cs) = RotaPolicy.decide(&state, &req) {
+            for c in cs {
+                state.accommodate(c).expect("before deadline");
+            }
+        }
+    }
+    state
+}
+
+fn bench_admission_vs_committed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4/admit_vs_committed");
+    group.sample_size(20);
+    for &n in &[1usize, 8, 32, 128, 512] {
+        let state = committed_state(n);
+        let probe = request("probe", 3, HORIZON);
+        group.bench_with_input(BenchmarkId::new("rota", n), &n, |b, _| {
+            b.iter(|| black_box(RotaPolicy.decide(&state, &probe).is_accept()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive-total", n), &n, |b, _| {
+            b.iter(|| black_box(NaiveTotalPolicy.decide(&state, &probe).is_accept()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_edf_simulation_cost(c: &mut Criterion) {
+    // GreedyEDF pays a full simulation per decision — measured separately
+    // (smaller sizes: it is orders of magnitude slower by design).
+    let mut group = c.benchmark_group("e4/edf_simulation");
+    group.sample_size(10);
+    for &n in &[1usize, 8, 32] {
+        let state = committed_state(n);
+        let probe = request("probe", 3, HORIZON);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(GreedyEdfPolicy.decide(&state, &probe).is_accept()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_admission_vs_committed, bench_edf_simulation_cost);
+criterion_main!(benches);

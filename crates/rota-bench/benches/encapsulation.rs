@@ -1,0 +1,108 @@
+//! E11 — the CyberOrgs complexity-amelioration claim: admission latency
+//! when reasoning over the whole system vs. inside an encapsulation.
+//!
+//! The paper: "algorithmic complexity of the reasoning enabled by ROTA is
+//! obviously high. However … the reasoning only needs to concern itself
+//! with resources available inside the encapsulation."
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rota_actor::{
+    ActionKind, ActorComputation, DistributedComputation, Granularity, TableCostModel,
+};
+use rota_admission::{AdmissionPolicy, AdmissionRequest, Decision, RotaPolicy};
+use rota_cyberorgs::CyberOrgs;
+use rota_interval::{TimeInterval, TimePoint};
+use rota_logic::State;
+use rota_resource::{LocatedType, Location, Rate, ResourceSet, ResourceTerm};
+
+const HORIZON: u64 = 2_048;
+
+fn pool(nodes: usize, rate: u64) -> ResourceSet {
+    let window = TimeInterval::from_ticks(0, HORIZON).expect("valid");
+    ResourceSet::from_terms((0..nodes).map(|i| {
+        ResourceTerm::new(
+            Rate::new(rate),
+            window,
+            LocatedType::cpu(Location::new(format!("l{i}"))),
+        )
+    }))
+    .expect("bounded rates")
+}
+
+fn request(name: &str, node: usize) -> AdmissionRequest {
+    let gamma = ActorComputation::new(format!("{name}-actor"), format!("l{node}"))
+        .then(ActionKind::evaluate())
+        .then(ActionKind::evaluate());
+    AdmissionRequest::price(
+        DistributedComputation::single(name, gamma, TimePoint::ZERO, TimePoint::new(HORIZON))
+            .expect("deadline > 0"),
+        &TableCostModel::paper(),
+        Granularity::MaximalRun,
+    )
+}
+
+/// Global system with `jobs` commitments spread over `nodes` nodes.
+fn global_state(nodes: usize, jobs: usize) -> State {
+    let mut state = State::new(pool(nodes, 8), TimePoint::ZERO);
+    for k in 0..jobs {
+        let req = request(&format!("pre{k}"), k % nodes);
+        if let Decision::Accept(cs) = RotaPolicy.decide(&state, &req) {
+            for c in cs {
+                state.accommodate(c).expect("before deadline");
+            }
+        }
+    }
+    state
+}
+
+/// The same workload partitioned into per-node orgs.
+fn org_hierarchy(nodes: usize, jobs: usize) -> CyberOrgs {
+    let mut orgs = CyberOrgs::new("root", pool(nodes, 8), TimePoint::ZERO);
+    let window = TimeInterval::from_ticks(0, HORIZON).expect("valid");
+    for i in 0..nodes {
+        let slice = ResourceSet::from_terms([ResourceTerm::new(
+            Rate::new(8),
+            window,
+            LocatedType::cpu(Location::new(format!("l{i}"))),
+        )])
+        .expect("bounded rates");
+        orgs.create_org("root", format!("org{i}").as_str(), slice)
+            .expect("carving the root's free pool");
+    }
+    for k in 0..jobs {
+        let node = k % nodes;
+        let req = request(&format!("pre{k}"), node);
+        let _ = orgs
+            .admit(format!("org{node}").as_str(), &req)
+            .expect("org exists");
+    }
+    orgs
+}
+
+fn bench_global_vs_encapsulated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11/admission_latency");
+    group.sample_size(20);
+    for &jobs in &[64usize, 256, 1024] {
+        let nodes = 16;
+        let global = global_state(nodes, jobs);
+        let probe = request("probe", 3);
+        group.bench_with_input(BenchmarkId::new("global", jobs), &jobs, |b, _| {
+            b.iter(|| black_box(RotaPolicy.decide(&global, &probe).is_accept()))
+        });
+        let mut orgs = org_hierarchy(nodes, jobs);
+        group.bench_with_input(BenchmarkId::new("encapsulated", jobs), &jobs, |b, _| {
+            b.iter(|| {
+                // decide-only probe: admit into a clone-free decision by
+                // using the org's state directly
+                let state = orgs.state("org3").expect("org exists");
+                black_box(RotaPolicy.decide(state, &probe).is_accept())
+            })
+        });
+        // keep the borrow checker happy about `orgs` living long enough
+        let _ = orgs.admit("org3", &request("tail", 3));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_global_vs_encapsulated);
+criterion_main!(benches);

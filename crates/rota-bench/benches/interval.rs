@@ -1,0 +1,94 @@
+//! E1 — Table I: Allen relation classification, composition, and
+//! qualitative constraint propagation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rota_interval::{
+    compose, compose_sets, AllenRelation, ConstraintNetwork, RelationSet, TimeInterval,
+    ALL_RELATIONS,
+};
+
+fn random_intervals(n: usize, seed: u64) -> Vec<TimeInterval> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let s = rng.gen_range(0u64..1_000);
+            let e = rng.gen_range(s + 1..s + 200);
+            TimeInterval::from_ticks(s, e).expect("s < e")
+        })
+        .collect()
+}
+
+fn bench_relate(c: &mut Criterion) {
+    let intervals = random_intervals(1024, 1);
+    c.bench_function("e1/relate_pair", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = &intervals[i % intervals.len()];
+            let x = &intervals[(i * 7 + 3) % intervals.len()];
+            i = i.wrapping_add(1);
+            black_box(AllenRelation::relate(a, x))
+        })
+    });
+}
+
+fn bench_compose(c: &mut Criterion) {
+    c.bench_function("e1/compose_basic", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let r1 = ALL_RELATIONS[i % 13];
+            let r2 = ALL_RELATIONS[(i / 13) % 13];
+            i = i.wrapping_add(1);
+            black_box(compose(r1, r2))
+        })
+    });
+    c.bench_function("e1/compose_sets_dense", |b| {
+        let s1 = RelationSet::from_bits(0b1010101010101);
+        let s2 = RelationSet::from_bits(0b0101010101010);
+        b.iter(|| black_box(compose_sets(black_box(s1), black_box(s2))))
+    });
+}
+
+fn bench_path_consistency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1/path_consistency");
+    for &n in &[4usize, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_with_setup(
+                || {
+                    // a consistent chain: x0 < x1 < … plus random disjunctions
+                    let mut rng = StdRng::seed_from_u64(n as u64);
+                    let mut net = ConstraintNetwork::new();
+                    let vars: Vec<_> = (0..n).map(|_| net.add_variable()).collect();
+                    for w in vars.windows(2) {
+                        net.constrain(
+                            w[0],
+                            w[1],
+                            RelationSet::singleton(AllenRelation::Before)
+                                .with(AllenRelation::Meets),
+                        )
+                        .expect("fresh variables");
+                    }
+                    for _ in 0..n {
+                        let i = rng.gen_range(0..n);
+                        let j = rng.gen_range(0..n);
+                        if i != j {
+                            net.constrain(
+                                vars[i],
+                                vars[j],
+                                RelationSet::from_bits(rng.gen_range(1..(1 << 13))),
+                            )
+                            .expect("fresh variables");
+                        }
+                    }
+                    net
+                },
+                |mut net| black_box(net.path_consistency()),
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relate, bench_compose, bench_path_consistency);
+criterion_main!(benches);

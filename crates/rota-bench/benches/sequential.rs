@@ -1,0 +1,82 @@
+//! E3 — Theorem-2 scheduling: breakpoint-search latency vs segment count
+//! m, under tight and loose deadline slack.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rota_actor::{ComplexRequirement, ResourceDemand};
+use rota_interval::{TimeInterval, TimePoint};
+use rota_logic::schedule_complex;
+use rota_resource::{LocatedType, Location, Quantity, Rate, ResourceSet, ResourceTerm};
+
+/// A chain of m segments alternating between two located types, each
+/// needing `per_seg` units, against uniform availability.
+fn chain(m: usize, per_seg: u64, horizon: u64) -> (ResourceSet, ComplexRequirement) {
+    let window = TimeInterval::from_ticks(0, horizon).expect("horizon > 0");
+    let lts = [
+        LocatedType::cpu(Location::new("l0")),
+        LocatedType::cpu(Location::new("l1")),
+    ];
+    let theta = ResourceSet::from_terms(
+        lts.iter()
+            .map(|lt| ResourceTerm::new(Rate::new(4), window, lt.clone())),
+    )
+    .expect("bounded rates");
+    let segments = (0..m)
+        .map(|i| ResourceDemand::single(lts[i % 2].clone(), Quantity::new(per_seg)))
+        .collect();
+    (theta, ComplexRequirement::new(segments, window))
+}
+
+fn bench_segments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3/schedule_vs_m");
+    for &m in &[1usize, 4, 16, 64, 256] {
+        // loose: horizon = 4× the bare service time
+        let horizon = (m as u64 * 2).max(8) * 4;
+        let (theta, req) = chain(m, 8, horizon);
+        group.bench_with_input(BenchmarkId::new("loose", m), &m, |b, _| {
+            b.iter(|| black_box(schedule_complex(&theta, &req, TimePoint::ZERO).is_ok()))
+        });
+        // tight: horizon exactly the bare service time (2 ticks/segment)
+        let horizon = (m as u64 * 2).max(2);
+        let (theta, req) = chain(m, 8, horizon);
+        group.bench_with_input(BenchmarkId::new("tight", m), &m, |b, _| {
+            b.iter(|| black_box(schedule_complex(&theta, &req, TimePoint::ZERO).is_ok()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fragmented_availability(c: &mut Criterion) {
+    // Fixed m, varying availability fragmentation: the sweep cost scales
+    // with profile segments, not just m.
+    let mut group = c.benchmark_group("e3/schedule_vs_fragmentation");
+    for &gaps in &[0u64, 8, 32, 128] {
+        let horizon = 2_048u64;
+        let lt = LocatedType::cpu(Location::new("l0"));
+        let mut theta = ResourceSet::new();
+        let pieces = gaps + 1;
+        let span = horizon / (2 * pieces);
+        for k in 0..pieces {
+            let s = k * 2 * span;
+            theta
+                .insert(ResourceTerm::new(
+                    Rate::new(4),
+                    TimeInterval::from_ticks(s, s + span).expect("span > 0"),
+                    lt.clone(),
+                ))
+                .expect("bounded rates");
+        }
+        let req = ComplexRequirement::new(
+            (0..16)
+                .map(|_| ResourceDemand::single(lt.clone(), Quantity::new(16)))
+                .collect(),
+            TimeInterval::from_ticks(0, horizon).expect("valid"),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(gaps), &gaps, |b, _| {
+            b.iter(|| black_box(schedule_complex(&theta, &req, TimePoint::ZERO).is_ok()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_segments, bench_fragmented_availability);
+criterion_main!(benches);

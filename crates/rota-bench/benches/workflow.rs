@@ -1,0 +1,79 @@
+//! E12 — Section-VI extensions: workflow scheduling cost vs actor count
+//! and dependency shape, and plan-choice cost vs alternative count.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rota_actor::{ActorName, ComplexRequirement, ResourceDemand};
+use rota_interval::{TimeInterval, TimePoint};
+use rota_logic::{choose_plan, schedule_workflow, PlanObjective, State, WorkflowRequirement};
+use rota_resource::{LocatedType, Location, Quantity, Rate, ResourceSet, ResourceTerm};
+
+const HORIZON: u64 = 4_096;
+
+fn cpu(i: usize) -> LocatedType {
+    LocatedType::cpu(Location::new(format!("l{i}")))
+}
+
+fn window() -> TimeInterval {
+    TimeInterval::from_ticks(0, HORIZON).expect("valid")
+}
+
+fn free(nodes: usize) -> ResourceSet {
+    ResourceSet::from_terms((0..nodes).map(|i| ResourceTerm::new(Rate::new(4), window(), cpu(i))))
+        .expect("bounded rates")
+}
+
+fn parts(n: usize) -> Vec<ComplexRequirement> {
+    (0..n)
+        .map(|i| {
+            ComplexRequirement::new(
+                vec![ResourceDemand::single(cpu(i % 4), Quantity::new(16))],
+                window(),
+            )
+        })
+        .collect()
+}
+
+fn bench_workflow_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12/workflow_schedule");
+    for &n in &[4usize, 16, 64] {
+        let theta = free(4);
+        // independent actors (no edges)
+        let independent = WorkflowRequirement::new(parts(n), vec![], window()).expect("acyclic");
+        group.bench_with_input(BenchmarkId::new("independent", n), &n, |b, _| {
+            b.iter(|| black_box(schedule_workflow(&theta, &independent, TimePoint::ZERO).is_ok()))
+        });
+        // full chain of dependencies
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        let chain = WorkflowRequirement::new(parts(n), edges, window()).expect("acyclic");
+        group.bench_with_input(BenchmarkId::new("chain", n), &n, |b, _| {
+            b.iter(|| black_box(schedule_workflow(&theta, &chain, TimePoint::ZERO).is_ok()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_choice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12/choose_plan");
+    for &alts in &[2usize, 8, 32] {
+        let state = State::new(free(4), TimePoint::ZERO);
+        let alternatives = parts(alts);
+        let actor = ActorName::new("chooser");
+        group.bench_with_input(BenchmarkId::from_parameter(alts), &alts, |b, _| {
+            b.iter(|| {
+                black_box(
+                    choose_plan(
+                        &state,
+                        &actor,
+                        &alternatives,
+                        PlanObjective::EarliestCompletion,
+                    )
+                    .is_ok(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workflow_shapes, bench_plan_choice);
+criterion_main!(benches);

@@ -1,0 +1,370 @@
+//! `rota` — deadline assurance from the command line.
+//!
+//! ```text
+//! rota check <spec.json> [--granularity per-action|maximal-run]
+//! rota simulate [--seed N] [--load X] [--nodes N] [--horizon T]
+//!               [--shape chain|forkjoin|pipeline|mixed]
+//!               [--policy rota|naive|optimistic|edf] [--churn P]
+//! rota compare  [--seed N] [--load X] [--nodes N] [--horizon T] [--shape …]
+//! ```
+//!
+//! `check` reads a JSON system+computation spec (see `rota_cli::spec`)
+//! and prints the admission verdict with the schedule ROTA would pin the
+//! computation to. `simulate` and `compare` run seeded synthetic open
+//! -system workloads.
+
+mod formula;
+mod spec;
+
+use std::process::ExitCode;
+
+use rota_actor::Granularity;
+use rota_admission::{
+    AdmissionPolicy, AdmissionRequest, Decision, GreedyEdfPolicy, NaiveTotalPolicy,
+    OptimisticPolicy, RotaPolicy,
+};
+use rota_interval::TimePoint;
+use rota_logic::State;
+use rota_sim::{compare_policies, run_scenario_traced};
+use rota_workload::{build_scenario, JobShape, WorkloadConfig};
+
+use spec::CheckSpec;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("holds") => cmd_holds(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..], false),
+        Some("compare") => cmd_simulate(&args[1..], true),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`\n");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("rota — temporal reasoning about resources for deadline assurance");
+    eprintln!();
+    eprintln!("USAGE:");
+    eprintln!("  rota check <spec.json> [--granularity per-action|maximal-run]");
+    eprintln!("  rota simulate [--seed N] [--load X] [--nodes N] [--horizon T]");
+    eprintln!("                [--shape chain|forkjoin|pipeline|mixed]");
+    eprintln!("                [--policy rota|naive|optimistic|edf] [--churn P]");
+    eprintln!("  rota compare  [same options as simulate, runs all policies]");
+    eprintln!("  rota holds <spec.json> --formula \"<formula>\" [--depth N]");
+    eprintln!("  rota holds --resources \"[4]^(0,20)_cpu@l1; …\" --formula \"…\"");
+    eprintln!();
+    eprintln!("FORMULAS (rota holds):");
+    eprintln!("  satisfy(cpu@l1:8 in 0..10)    eventually …    always …    not …");
+    eprintln!("  … and …    … or …    satisfy(cpu@l1:8, network@l1->l2:4 in 0..20)");
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("check: missing spec file path");
+        return ExitCode::FAILURE;
+    };
+    let granularity = match flag(args, "--granularity").as_deref() {
+        Some("per-action") => Granularity::PerAction,
+        Some("maximal-run") | None => Granularity::MaximalRun,
+        Some(other) => {
+            eprintln!("check: unknown granularity `{other}`");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match CheckSpec::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (theta, lambda) = match (spec.resources(), spec.computation()) {
+        (Ok(t), Ok(l)) => (t, l),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("system Θ     : {theta}");
+    println!("computation  : {lambda}");
+    let request = AdmissionRequest::price(
+        lambda,
+        &rota_actor::TableCostModel::paper(),
+        granularity,
+    );
+    println!("requirement  : {}", request.requirement());
+    let state = State::new(theta, TimePoint::ZERO);
+    match RotaPolicy.decide(&state, &request) {
+        Decision::Accept(commitments) => {
+            println!("verdict      : ADMISSIBLE — the deadline is assured");
+            for c in &commitments {
+                println!("  actor {}", c.actor());
+                for seg in c.pending() {
+                    println!("    {}", seg.requirement());
+                }
+            }
+            println!();
+            print_gantt(&commitments, request.window());
+            ExitCode::SUCCESS
+        }
+        Decision::Reject(reason) => {
+            println!("verdict      : INFEASIBLE — {reason}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Renders the pinned schedule as a per-actor text timeline: digits mark
+/// which segment occupies each tick, `·` marks slack.
+fn print_gantt(commitments: &[rota_logic::Commitment], window: rota_interval::TimeInterval) {
+    let span = window.duration().ticks().min(120); // keep rows terminal-sized
+    let start = window.start().ticks();
+    println!("schedule     : t{start} … t{} (one column per Δt)", start + span);
+    for c in commitments {
+        let mut row = String::with_capacity(span as usize);
+        for t in start..start + span {
+            let tick = TimePoint::new(t);
+            let mark = c
+                .pending()
+                .enumerate()
+                .find(|(_, seg)| seg.requirement().window().contains_tick(tick))
+                .map(|(i, _)| {
+                    char::from_digit(((i + 1) % 36) as u32, 36).unwrap_or('#')
+                })
+                .unwrap_or('·');
+            row.push(mark);
+        }
+        println!("  {:>10} |{row}|", c.actor().to_string());
+    }
+}
+
+/// `rota holds`: evaluate a temporal formula against a spec's system
+/// state (with its computation admitted first, if one is given and fits).
+fn cmd_holds(args: &[String]) -> ExitCode {
+    let path = args.first().filter(|a| !a.starts_with("--"));
+    let inline = flag(args, "--resources");
+    let Some(formula_text) = flag(args, "--formula") else {
+        eprintln!("holds: missing --formula");
+        return ExitCode::FAILURE;
+    };
+    let depth = flag(args, "--depth")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64usize);
+    let formula = match formula::parse_formula(&formula_text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("holds: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut state;
+    match (path, inline) {
+        (Some(path), _) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("holds: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let spec = match CheckSpec::from_json(&text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("holds: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let theta = match spec.resources() {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("holds: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            state = State::new(theta, TimePoint::ZERO);
+            // Admit the spec's computation if it fits, so the formula is
+            // evaluated against the committed system (Θ_expire semantics).
+            if let Ok(lambda) = spec.computation() {
+                if !lambda.actors().is_empty() {
+                    let request = AdmissionRequest::price(
+                        lambda,
+                        &rota_actor::TableCostModel::paper(),
+                        Granularity::MaximalRun,
+                    );
+                    match RotaPolicy.decide(&state, &request) {
+                        Decision::Accept(commitments) => {
+                            for c in commitments {
+                                state.accommodate(c).expect("policy checked the guard");
+                            }
+                            println!("(computation admitted before evaluation)");
+                        }
+                        Decision::Reject(reason) => {
+                            println!("(computation not admitted: {reason})");
+                        }
+                    }
+                }
+            }
+        }
+        (None, Some(inline)) => {
+            // `--resources "[5]^(0,3)_cpu@l1; [4]^(0,20)_network@l1->l2"`
+            let mut theta = rota_resource::ResourceSet::new();
+            for part in inline.split(';').filter(|p| !p.trim().is_empty()) {
+                match part.parse::<rota_resource::ResourceTerm>() {
+                    Ok(term) => {
+                        if let Err(e) = theta.insert(term) {
+                            eprintln!("holds: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("holds: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            state = State::new(theta, TimePoint::ZERO);
+        }
+        (None, None) => {
+            eprintln!("holds: provide a spec file or --resources \"[r]^(s,e)_kind@loc; …\"");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("formula : {formula}");
+    let checker = rota_logic::ModelChecker::greedy(depth);
+    let verdict = checker.holds(&state, &formula);
+    println!("verdict : {}", if verdict { "HOLDS" } else { "DOES NOT HOLD" });
+    if verdict {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn cmd_simulate(args: &[String], compare: bool) -> ExitCode {
+    let seed = flag(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7u64);
+    let load = flag(args, "--load")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0f64);
+    let nodes = flag(args, "--nodes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6usize);
+    let horizon = flag(args, "--horizon")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96u64);
+    let churn = flag(args, "--churn")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0f64);
+    let shape = match flag(args, "--shape").as_deref() {
+        Some("chain") => JobShape::Chain { evals: 3 },
+        Some("forkjoin") => JobShape::ForkJoin {
+            actors: 2,
+            evals_each: 2,
+        },
+        Some("pipeline") => JobShape::Pipeline { hops: 2 },
+        Some("mixed") | None => JobShape::Mixed,
+        Some(other) => {
+            eprintln!("simulate: unknown shape `{other}`");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = WorkloadConfig::new(seed)
+        .with_nodes(nodes)
+        .with_horizon(horizon)
+        .with_shape(shape)
+        .with_load(load);
+    if churn > 0.0 {
+        config = config.with_churn(churn, 12, 3);
+    }
+    let scenario = build_scenario(&config);
+    println!(
+        "scenario: seed {seed}, load {load}, {nodes} nodes, horizon {horizon}, {} arrivals",
+        scenario.arrival_count()
+    );
+    if compare {
+        println!(
+            "{:<12} {:>8} {:>8} {:>10} {:>7} {:>12}",
+            "policy", "accept%", "miss%", "completed", "util%", "delivered"
+        );
+        for (name, report) in compare_policies(&scenario) {
+            println!(
+                "{:<12} {:>7.1}% {:>7.1}% {:>10} {:>6.1}% {:>12}",
+                name,
+                report.acceptance_rate() * 100.0,
+                report.miss_rate() * 100.0,
+                report.completed,
+                report.utilization() * 100.0,
+                report.delivered_units
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    let policy = flag(args, "--policy").unwrap_or_else(|| "rota".into());
+    let traced = args.iter().any(|a| a == "--trace");
+    let (report, trace) = match policy.as_str() {
+        "rota" => run_scenario_traced(
+            &scenario,
+            RotaPolicy,
+            rota_admission::ExecutionStrategy::FirstEntitled,
+        ),
+        "naive" => run_scenario_traced(
+            &scenario,
+            NaiveTotalPolicy,
+            rota_admission::ExecutionStrategy::EarliestDeadline,
+        ),
+        "optimistic" => run_scenario_traced(
+            &scenario,
+            OptimisticPolicy,
+            rota_admission::ExecutionStrategy::EarliestDeadline,
+        ),
+        "edf" => run_scenario_traced(
+            &scenario,
+            GreedyEdfPolicy,
+            rota_admission::ExecutionStrategy::EarliestDeadline,
+        ),
+        other => {
+            eprintln!("simulate: unknown policy `{other}`");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("policy {policy}: {report}");
+    println!(
+        "utilization {:.1}% ({} of {} offered units delivered), withdrawn {}",
+        report.utilization() * 100.0,
+        report.delivered_units,
+        report.offered_units,
+        report.withdrawn
+    );
+    if traced {
+        println!("in-flight : {}", trace.sparkline());
+        println!(
+            "peak {} in flight; per-tick throughput max {}",
+            trace.peak_in_flight(),
+            trace.throughput().into_iter().max().unwrap_or(0)
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,364 @@
+//! The JSON specification format for the CLI — the serialization
+//! boundary between files on disk and the (serde-free) library types.
+//!
+//! A spec file describes a system's resource terms and one
+//! deadline-constrained computation:
+//!
+//! ```json
+//! {
+//!   "resources": [
+//!     { "kind": "cpu", "location": "l1", "rate": 4, "start": 0, "end": 20 },
+//!     { "kind": "network", "from": "l1", "to": "l2", "rate": 4, "start": 0, "end": 20 }
+//!   ],
+//!   "computation": {
+//!     "name": "report-job",
+//!     "start": 0,
+//!     "deadline": 20,
+//!     "actors": [
+//!       { "name": "worker", "origin": "l1", "actions": [
+//!         { "do": "evaluate" },
+//!         { "do": "evaluate", "work": 12 },
+//!         { "do": "send", "to": "collector", "dest": "l2" },
+//!         { "do": "create", "child": "helper" },
+//!         { "do": "ready" },
+//!         { "do": "migrate", "dest": "l2" }
+//!       ] }
+//!     ]
+//!   }
+//! }
+//! ```
+
+use serde::Deserialize;
+
+use rota_actor::{ActionKind, ActorComputation, DistributedComputation};
+use rota_interval::{TimeInterval, TimePoint};
+use rota_resource::{LocatedType, Location, Quantity, Rate, ResourceSet, ResourceTerm};
+
+/// A resource term in the spec file.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(tag = "kind", rename_all = "lowercase", deny_unknown_fields)]
+pub enum ResourceSpec {
+    /// `⟨cpu, location⟩` at `rate` over `[start, end)`.
+    Cpu {
+        /// Node name.
+        location: String,
+        /// Units per tick.
+        rate: u64,
+        /// Inclusive start tick.
+        start: u64,
+        /// Exclusive end tick.
+        end: u64,
+    },
+    /// `⟨memory, location⟩` at `rate` over `[start, end)`.
+    Memory {
+        /// Node name.
+        location: String,
+        /// Units per tick.
+        rate: u64,
+        /// Inclusive start tick.
+        start: u64,
+        /// Exclusive end tick.
+        end: u64,
+    },
+    /// `⟨network, from→to⟩` at `rate` over `[start, end)`.
+    Network {
+        /// Source node.
+        from: String,
+        /// Destination node.
+        to: String,
+        /// Units per tick.
+        rate: u64,
+        /// Inclusive start tick.
+        start: u64,
+        /// Exclusive end tick.
+        end: u64,
+    },
+}
+
+/// An action in the spec file.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(tag = "do", rename_all = "lowercase", deny_unknown_fields)]
+pub enum ActionSpec {
+    /// `evaluate(e)`; optional explicit `work` CPU units.
+    Evaluate {
+        /// Optional explicit CPU amount.
+        #[serde(default)]
+        work: Option<u64>,
+    },
+    /// `send(to, m)` where `to` resides at `dest`.
+    Send {
+        /// Recipient actor name.
+        to: String,
+        /// Recipient's location.
+        dest: String,
+        /// Message size factor (default 1).
+        #[serde(default = "default_size")]
+        size: u64,
+    },
+    /// `create(child)`.
+    Create {
+        /// Child actor name.
+        child: String,
+    },
+    /// `ready(b)`.
+    Ready,
+    /// `migrate(dest)`.
+    Migrate {
+        /// Destination location.
+        dest: String,
+    },
+}
+
+fn default_size() -> u64 {
+    1
+}
+
+/// One actor's computation in the spec file.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ActorSpec {
+    /// Actor name (globally unique).
+    pub name: String,
+    /// Starting location.
+    pub origin: String,
+    /// Action sequence.
+    pub actions: Vec<ActionSpec>,
+}
+
+/// The computation `(Λ, s, d)` in the spec file.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ComputationSpec {
+    /// Identifying name.
+    pub name: String,
+    /// Earliest start tick `s`.
+    pub start: u64,
+    /// Deadline tick `d`.
+    pub deadline: u64,
+    /// Participating actors.
+    pub actors: Vec<ActorSpec>,
+}
+
+/// A whole check-spec file.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct CheckSpec {
+    /// The system's resource terms.
+    pub resources: Vec<ResourceSpec>,
+    /// The computation to admission-check.
+    pub computation: ComputationSpec,
+}
+
+/// Spec-level errors with user-facing messages.
+#[derive(Debug)]
+pub enum SpecError {
+    /// JSON syntax or schema problem.
+    Parse(serde_json::Error),
+    /// Semantically invalid content (empty interval, bad window, …).
+    Invalid(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Parse(e) => write!(f, "spec parse error: {e}"),
+            SpecError::Invalid(msg) => write!(f, "invalid spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<serde_json::Error> for SpecError {
+    fn from(e: serde_json::Error) -> Self {
+        SpecError::Parse(e)
+    }
+}
+
+impl CheckSpec {
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Parse`] on malformed JSON or unknown fields.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        Ok(serde_json::from_str(text)?)
+    }
+
+    /// Converts the resource list into a library [`ResourceSet`].
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Invalid`] for empty intervals or rate overflow.
+    pub fn resources(&self) -> Result<ResourceSet, SpecError> {
+        let mut theta = ResourceSet::new();
+        for r in &self.resources {
+            let (located, rate, start, end) = match r {
+                ResourceSpec::Cpu {
+                    location,
+                    rate,
+                    start,
+                    end,
+                } => (
+                    LocatedType::cpu(Location::new(location)),
+                    *rate,
+                    *start,
+                    *end,
+                ),
+                ResourceSpec::Memory {
+                    location,
+                    rate,
+                    start,
+                    end,
+                } => (
+                    LocatedType::memory(Location::new(location)),
+                    *rate,
+                    *start,
+                    *end,
+                ),
+                ResourceSpec::Network {
+                    from,
+                    to,
+                    rate,
+                    start,
+                    end,
+                } => (
+                    LocatedType::network(Location::new(from), Location::new(to)),
+                    *rate,
+                    *start,
+                    *end,
+                ),
+            };
+            let interval = TimeInterval::from_ticks(start, end).map_err(|e| {
+                SpecError::Invalid(format!("resource {located}: {e}"))
+            })?;
+            theta
+                .insert(ResourceTerm::new(Rate::new(rate), interval, located))
+                .map_err(|e| SpecError::Invalid(e.to_string()))?;
+        }
+        Ok(theta)
+    }
+
+    /// Converts the computation into a library
+    /// [`DistributedComputation`].
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Invalid`] when the deadline does not follow the start.
+    pub fn computation(&self) -> Result<DistributedComputation, SpecError> {
+        let spec = &self.computation;
+        let actors = spec
+            .actors
+            .iter()
+            .map(|a| {
+                let mut gamma = ActorComputation::new(a.name.as_str(), a.origin.as_str());
+                for action in &a.actions {
+                    gamma.push(match action {
+                        ActionSpec::Evaluate { work } => ActionKind::Evaluate {
+                            work: work.map(Quantity::new),
+                        },
+                        ActionSpec::Send { to, dest, size } => ActionKind::Send {
+                            to: to.as_str().into(),
+                            dest: Location::new(dest),
+                            size: *size,
+                        },
+                        ActionSpec::Create { child } => ActionKind::create(child.as_str()),
+                        ActionSpec::Ready => ActionKind::Ready,
+                        ActionSpec::Migrate { dest } => ActionKind::migrate(dest.as_str()),
+                    });
+                }
+                gamma
+            })
+            .collect();
+        DistributedComputation::new(
+            spec.name.as_str(),
+            actors,
+            TimePoint::new(spec.start),
+            TimePoint::new(spec.deadline),
+        )
+        .map_err(|e| SpecError::Invalid(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "resources": [
+            { "kind": "cpu", "location": "l1", "rate": 4, "start": 0, "end": 20 },
+            { "kind": "memory", "location": "l1", "rate": 2, "start": 0, "end": 20 },
+            { "kind": "network", "from": "l1", "to": "l2", "rate": 4, "start": 0, "end": 20 }
+        ],
+        "computation": {
+            "name": "job",
+            "start": 0,
+            "deadline": 20,
+            "actors": [
+                { "name": "worker", "origin": "l1", "actions": [
+                    { "do": "evaluate" },
+                    { "do": "evaluate", "work": 12 },
+                    { "do": "send", "to": "peer", "dest": "l2", "size": 2 },
+                    { "do": "create", "child": "helper" },
+                    { "do": "ready" },
+                    { "do": "migrate", "dest": "l2" }
+                ] }
+            ]
+        }
+    }"#;
+
+    #[test]
+    fn parses_and_converts_sample() {
+        let spec = CheckSpec::from_json(SAMPLE).unwrap();
+        let theta = spec.resources().unwrap();
+        assert_eq!(theta.located_types().count(), 3);
+        let lambda = spec.computation().unwrap();
+        assert_eq!(lambda.name(), "job");
+        assert_eq!(lambda.action_count(), 6);
+        assert_eq!(lambda.deadline(), TimePoint::new(20));
+    }
+
+    #[test]
+    fn rejects_unknown_fields() {
+        let bad = r#"{ "resources": [], "computation": {
+            "name": "x", "start": 0, "deadline": 1, "actors": [], "bogus": true } }"#;
+        assert!(matches!(
+            CheckSpec::from_json(bad),
+            Err(SpecError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_interval_and_bad_window() {
+        let spec = CheckSpec::from_json(
+            r#"{ "resources": [ { "kind": "cpu", "location": "l1", "rate": 1, "start": 5, "end": 5 } ],
+                 "computation": { "name": "x", "start": 0, "deadline": 1, "actors": [] } }"#,
+        )
+        .unwrap();
+        assert!(matches!(spec.resources(), Err(SpecError::Invalid(_))));
+
+        let spec = CheckSpec::from_json(
+            r#"{ "resources": [],
+                 "computation": { "name": "x", "start": 5, "deadline": 5, "actors": [] } }"#,
+        )
+        .unwrap();
+        let err = spec.computation().unwrap_err();
+        assert!(err.to_string().contains("invalid spec"));
+    }
+
+    #[test]
+    fn default_send_size_is_one() {
+        let spec = CheckSpec::from_json(
+            r#"{ "resources": [],
+                 "computation": { "name": "x", "start": 0, "deadline": 5, "actors": [
+                    { "name": "a", "origin": "l1", "actions": [
+                        { "do": "send", "to": "b", "dest": "l2" } ] } ] } }"#,
+        )
+        .unwrap();
+        let lambda = spec.computation().unwrap();
+        match &lambda.actors()[0].actions()[0] {
+            ActionKind::Send { size, .. } => assert_eq!(*size, 1),
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! CyberOrgs-style hierarchical resource encapsulation for ROTA.
+//!
+//! The paper closes with its plan for taming the cost of reasoning:
+//! *"the context in which we hope to use ROTA is that of resource
+//! encapsulations of the type defined by the CyberOrgs model, where the
+//! reasoning only needs to concern itself with resources available inside
+//! the encapsulation."*
+//!
+//! This crate implements that proposal. A [`CyberOrgs`] hierarchy hosts
+//! named organizations, each owning a private slice of the system's
+//! resource terms and running its own ROTA state. Admission inside an org
+//! reasons only over the org's slice, so decision latency scales with the
+//! encapsulation rather than the whole system — experiment E11 measures
+//! the effect directly. Resources move between parent and child only out
+//! of *expiring* (uncommitted) pools, so restructuring the hierarchy can
+//! never invalidate an assurance already given.
+//!
+//! ```
+//! use rota_cyberorgs::CyberOrgs;
+//! use rota_interval::{TimeInterval, TimePoint};
+//! use rota_resource::{LocatedType, Location, Rate, ResourceSet, ResourceTerm};
+//!
+//! let pool = ResourceSet::from_terms([ResourceTerm::new(
+//!     Rate::new(8),
+//!     TimeInterval::from_ticks(0, 64)?,
+//!     LocatedType::cpu(Location::new("l1")),
+//! )])?;
+//! let mut orgs = CyberOrgs::new("datacenter", pool, TimePoint::ZERO);
+//! let slice = ResourceSet::from_terms([ResourceTerm::new(
+//!     Rate::new(4),
+//!     TimeInterval::from_ticks(0, 64)?,
+//!     LocatedType::cpu(Location::new("l1")),
+//! )])?;
+//! orgs.create_org("datacenter", "tenant-a", slice)?;
+//! // admission inside tenant-a now reasons over its 4/Δt slice only
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hierarchy;
+mod org;
+
+pub use hierarchy::{CyberOrgs, CyberOrgsError};
+pub use org::OrgName;

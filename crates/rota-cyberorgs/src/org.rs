@@ -1,0 +1,64 @@
+//! The organization hierarchy: named resource encapsulations.
+
+use core::fmt;
+use std::sync::Arc;
+
+use rota_interval::TimePoint;
+use rota_logic::State;
+use rota_resource::ResourceSet;
+
+/// The name of an organization in the hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use rota_cyberorgs::OrgName;
+///
+/// let org = OrgName::new("tenant-7");
+/// assert_eq!(org.to_string(), "tenant-7");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OrgName(Arc<str>);
+
+impl OrgName {
+    /// Creates an organization name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        OrgName(Arc::from(name.as_ref()))
+    }
+
+    /// The name as a string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for OrgName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for OrgName {
+    fn from(name: &str) -> Self {
+        OrgName::new(name)
+    }
+}
+
+/// One organization: a ROTA state of its own (local Θ and ρ) plus its
+/// place in the hierarchy.
+#[derive(Debug, Clone)]
+pub(crate) struct Org {
+    pub(crate) parent: Option<OrgName>,
+    pub(crate) children: Vec<OrgName>,
+    pub(crate) state: State,
+}
+
+impl Org {
+    pub(crate) fn new(parent: Option<OrgName>, theta: ResourceSet, now: TimePoint) -> Self {
+        Org {
+            parent,
+            children: Vec::new(),
+            state: State::new(theta, now),
+        }
+    }
+}

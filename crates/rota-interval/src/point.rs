@@ -1,0 +1,434 @@
+//! The point algebra — qualitative reasoning over time *points*.
+//!
+//! Allen's interval algebra reduces to constraints between interval
+//! endpoints: each of the thirteen relations is a conjunction of `<`, `=`
+//! or `>` between the four endpoints involved. This module provides that
+//! substrate explicitly: [`PointRelation`] disjunction sets, their
+//! composition (transitive closure over `{<,=,>}`), a
+//! [`PointNetwork`] solver (path consistency is *complete* for the point
+//! algebra, unlike for intervals), and the endpoint encoding of each
+//! [`AllenRelation`].
+
+use core::fmt;
+
+use crate::relation::AllenRelation;
+
+/// A disjunction of the three basic point relations, packed into 3 bits:
+/// bit 0 = `<`, bit 1 = `=`, bit 2 = `>`.
+///
+/// # Examples
+///
+/// ```
+/// use rota_interval::PointRelation;
+///
+/// let leq = PointRelation::LT.union(PointRelation::EQ);
+/// assert_eq!(leq.to_string(), "≤");
+/// assert!(leq.contains(PointRelation::EQ));
+/// assert_eq!(leq.converse(), PointRelation::GT.union(PointRelation::EQ));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PointRelation(u8);
+
+impl PointRelation {
+    /// The empty (inconsistent) relation.
+    pub const EMPTY: PointRelation = PointRelation(0b000);
+    /// Strictly before: `<`.
+    pub const LT: PointRelation = PointRelation(0b001);
+    /// Equal: `=`.
+    pub const EQ: PointRelation = PointRelation(0b010);
+    /// Strictly after: `>`.
+    pub const GT: PointRelation = PointRelation(0b100);
+    /// `≤`.
+    pub const LE: PointRelation = PointRelation(0b011);
+    /// `≥`.
+    pub const GE: PointRelation = PointRelation(0b110);
+    /// `≠`.
+    pub const NE: PointRelation = PointRelation(0b101);
+    /// The full, uninformative relation.
+    pub const FULL: PointRelation = PointRelation(0b111);
+
+    /// Whether `r`'s basic relations are all admitted here.
+    pub const fn contains(self, r: PointRelation) -> bool {
+        self.0 & r.0 == r.0
+    }
+
+    /// Whether no basic relation is admitted.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub const fn union(self, other: PointRelation) -> PointRelation {
+        PointRelation(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub const fn intersect(self, other: PointRelation) -> PointRelation {
+        PointRelation(self.0 & other.0)
+    }
+
+    /// The converse: the constraint from `b` to `a` given this one from
+    /// `a` to `b` (swap `<` and `>`).
+    #[must_use]
+    pub const fn converse(self) -> PointRelation {
+        let lt = (self.0 & 0b001) << 2;
+        let eq = self.0 & 0b010;
+        let gt = (self.0 & 0b100) >> 2;
+        PointRelation(lt | eq | gt)
+    }
+
+    /// Composition: the possible relations `a ? c` given `a self b` and
+    /// `b other c`.
+    ///
+    /// The table is tiny: `< ∘ <` = `<`, `< ∘ =` = `<`, `< ∘ >` = full,
+    /// and symmetrically.
+    #[must_use]
+    pub fn compose(self, other: PointRelation) -> PointRelation {
+        let mut out = PointRelation::EMPTY;
+        for a in [PointRelation::LT, PointRelation::EQ, PointRelation::GT] {
+            if !self.contains(a) {
+                continue;
+            }
+            for b in [PointRelation::LT, PointRelation::EQ, PointRelation::GT] {
+                if !other.contains(b) {
+                    continue;
+                }
+                out = out.union(compose_basic(a, b));
+            }
+        }
+        out
+    }
+
+    /// Whether the relation admits exactly one basic relation.
+    pub const fn is_singleton(self) -> bool {
+        self.0.count_ones() == 1
+    }
+}
+
+fn compose_basic(a: PointRelation, b: PointRelation) -> PointRelation {
+    use PointRelation as P;
+    match (a, b) {
+        (P::EQ, x) | (x, P::EQ) => x,
+        (P::LT, P::LT) => P::LT,
+        (P::GT, P::GT) => P::GT,
+        // < ∘ > and > ∘ < conclude nothing
+        _ => P::FULL,
+    }
+}
+
+impl Default for PointRelation {
+    fn default() -> Self {
+        PointRelation::FULL
+    }
+}
+
+impl fmt::Display for PointRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self.0 {
+            0b000 => "∅",
+            0b001 => "<",
+            0b010 => "=",
+            0b011 => "≤",
+            0b100 => ">",
+            0b101 => "≠",
+            0b110 => "≥",
+            _ => "?",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A constraint network over time points. Path consistency decides
+/// satisfiability for the point algebra (it is complete here, unlike for
+/// the interval algebra).
+///
+/// # Examples
+///
+/// ```
+/// use rota_interval::{PointNetwork, PointRelation};
+///
+/// let mut net = PointNetwork::new();
+/// let a = net.add_point();
+/// let b = net.add_point();
+/// let c = net.add_point();
+/// net.constrain(a, b, PointRelation::LT);
+/// net.constrain(b, c, PointRelation::LE);
+/// assert!(net.solve());
+/// // transitivity: a < c was inferred
+/// assert_eq!(net.constraint(a, c), PointRelation::LT);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointNetwork {
+    constraints: Vec<PointRelation>,
+    n: usize,
+}
+
+impl PointNetwork {
+    /// An empty network.
+    pub fn new() -> Self {
+        PointNetwork {
+            constraints: Vec::new(),
+            n: 0,
+        }
+    }
+
+    /// Adds a fresh, unconstrained point; returns its index.
+    pub fn add_point(&mut self) -> usize {
+        let n = self.n + 1;
+        let mut next = vec![PointRelation::FULL; n * n];
+        for i in 0..self.n {
+            for j in 0..self.n {
+                next[i * n + j] = self.constraints[i * self.n + j];
+            }
+        }
+        for i in 0..n {
+            next[i * n + i] = PointRelation::EQ;
+        }
+        self.constraints = next;
+        self.n = n;
+        n - 1
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the network has no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The current constraint from `a` to `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn constraint(&self, a: usize, b: usize) -> PointRelation {
+        assert!(a < self.n && b < self.n, "point index out of range");
+        self.constraints[a * self.n + b]
+    }
+
+    /// Conjoins `rel` onto the `a → b` constraint (and its converse onto
+    /// `b → a`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn constrain(&mut self, a: usize, b: usize, rel: PointRelation) {
+        assert!(a < self.n && b < self.n, "point index out of range");
+        let narrowed = self.constraints[a * self.n + b].intersect(rel);
+        self.constraints[a * self.n + b] = narrowed;
+        self.constraints[b * self.n + a] = narrowed.converse();
+    }
+
+    /// Runs path consistency to a fixed point. Returns `false` iff the
+    /// network is unsatisfiable — for the point algebra this is a
+    /// complete decision procedure.
+    pub fn solve(&mut self) -> bool {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for k in 0..self.n {
+                for i in 0..self.n {
+                    for j in 0..self.n {
+                        let via = self.constraints[i * self.n + k]
+                            .compose(self.constraints[k * self.n + j]);
+                        let cur = self.constraints[i * self.n + j];
+                        let narrowed = cur.intersect(via);
+                        if narrowed != cur {
+                            if narrowed.is_empty() {
+                                return false;
+                            }
+                            self.constraints[i * self.n + j] = narrowed;
+                            self.constraints[j * self.n + i] = narrowed.converse();
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Default for PointNetwork {
+    fn default() -> Self {
+        PointNetwork::new()
+    }
+}
+
+/// The endpoint encoding of an Allen relation: the point constraints
+/// `(a⁻ ? b⁻, a⁻ ? b⁺, a⁺ ? b⁻, a⁺ ? b⁺)` between the two intervals'
+/// start (`⁻`) and end (`⁺`) points that hold exactly when
+/// `relate(a, b) = r` (given the implicit `a⁻ < a⁺` and `b⁻ < b⁺`).
+pub fn endpoint_encoding(r: AllenRelation) -> [PointRelation; 4] {
+    use AllenRelation::*;
+    use PointRelation as P;
+    // order: (s_a vs s_b, s_a vs e_b, e_a vs s_b, e_a vs e_b)
+    match r {
+        Before => [P::LT, P::LT, P::LT, P::LT],
+        After => [P::GT, P::GT, P::GT, P::GT],
+        Equals => [P::EQ, P::LT, P::GT, P::EQ],
+        During => [P::GT, P::LT, P::GT, P::LT],
+        Contains => [P::LT, P::LT, P::GT, P::GT],
+        Meets => [P::LT, P::LT, P::EQ, P::LT],
+        MetBy => [P::GT, P::EQ, P::GT, P::GT],
+        Overlaps => [P::LT, P::LT, P::GT, P::LT],
+        OverlappedBy => [P::GT, P::LT, P::GT, P::GT],
+        Starts => [P::EQ, P::LT, P::GT, P::LT],
+        StartedBy => [P::EQ, P::LT, P::GT, P::GT],
+        Finishes => [P::GT, P::LT, P::GT, P::EQ],
+        FinishedBy => [P::LT, P::LT, P::GT, P::EQ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::TimeInterval;
+    use crate::relation::ALL_RELATIONS;
+
+    #[test]
+    fn converse_and_union_laws() {
+        assert_eq!(PointRelation::LT.converse(), PointRelation::GT);
+        assert_eq!(PointRelation::LE.converse(), PointRelation::GE);
+        assert_eq!(PointRelation::EQ.converse(), PointRelation::EQ);
+        assert_eq!(PointRelation::NE.converse(), PointRelation::NE);
+        for r in [
+            PointRelation::LT,
+            PointRelation::EQ,
+            PointRelation::GT,
+            PointRelation::LE,
+            PointRelation::GE,
+            PointRelation::NE,
+            PointRelation::FULL,
+        ] {
+            assert_eq!(r.converse().converse(), r);
+        }
+    }
+
+    #[test]
+    fn composition_table() {
+        use PointRelation as P;
+        assert_eq!(P::LT.compose(P::LT), P::LT);
+        assert_eq!(P::LT.compose(P::EQ), P::LT);
+        assert_eq!(P::GT.compose(P::GT), P::GT);
+        assert_eq!(P::LT.compose(P::GT), P::FULL);
+        assert_eq!(P::EQ.compose(P::EQ), P::EQ);
+        assert_eq!(P::LE.compose(P::LE), P::LE);
+        assert_eq!(P::EMPTY.compose(P::FULL), P::EMPTY);
+    }
+
+    /// Composition is sound against concrete integers.
+    #[test]
+    fn composition_sound_on_integers() {
+        let rel = |a: i32, b: i32| {
+            if a < b {
+                PointRelation::LT
+            } else if a == b {
+                PointRelation::EQ
+            } else {
+                PointRelation::GT
+            }
+        };
+        for a in 0..4 {
+            for b in 0..4 {
+                for c in 0..4 {
+                    assert!(rel(a, b).compose(rel(b, c)).contains(rel(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn network_detects_cycles_and_infers() {
+        let mut net = PointNetwork::new();
+        let a = net.add_point();
+        let b = net.add_point();
+        let c = net.add_point();
+        net.constrain(a, b, PointRelation::LT);
+        net.constrain(b, c, PointRelation::LT);
+        assert!(net.solve());
+        assert_eq!(net.constraint(a, c), PointRelation::LT);
+        // close the cycle: now unsatisfiable
+        net.constrain(c, a, PointRelation::LT);
+        assert!(!net.solve());
+    }
+
+    #[test]
+    fn le_chains_allow_equality() {
+        let mut net = PointNetwork::new();
+        let a = net.add_point();
+        let b = net.add_point();
+        net.constrain(a, b, PointRelation::LE);
+        net.constrain(b, a, PointRelation::LE);
+        assert!(net.solve());
+        assert_eq!(net.constraint(a, b), PointRelation::EQ);
+    }
+
+    /// The endpoint encodings are exactly right: for every pair of small
+    /// intervals, the four endpoint comparisons match the encoding of the
+    /// relation `relate` computes.
+    #[test]
+    fn endpoint_encoding_matches_relate() {
+        let cmp = |a: u64, b: u64| {
+            if a < b {
+                PointRelation::LT
+            } else if a == b {
+                PointRelation::EQ
+            } else {
+                PointRelation::GT
+            }
+        };
+        for s1 in 0..6u64 {
+            for e1 in (s1 + 1)..=6 {
+                for s2 in 0..6u64 {
+                    for e2 in (s2 + 1)..=6 {
+                        let a = TimeInterval::from_ticks(s1, e1).unwrap();
+                        let b = TimeInterval::from_ticks(s2, e2).unwrap();
+                        let r = AllenRelation::relate(&a, &b);
+                        let enc = endpoint_encoding(r);
+                        assert_eq!(enc[0], cmp(s1, s2), "{r}: start-start");
+                        assert_eq!(enc[1], cmp(s1, e2), "{r}: start-end");
+                        assert_eq!(enc[2], cmp(e1, s2), "{r}: end-start");
+                        assert_eq!(enc[3], cmp(e1, e2), "{r}: end-end");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Encodings are pairwise distinct (they uniquely identify the
+    /// relation).
+    #[test]
+    fn encodings_are_distinct() {
+        for (i, a) in ALL_RELATIONS.iter().enumerate() {
+            for b in &ALL_RELATIONS[i + 1..] {
+                assert_ne!(endpoint_encoding(*a), endpoint_encoding(*b));
+            }
+        }
+    }
+
+    #[test]
+    fn display_symbols() {
+        assert_eq!(PointRelation::LT.to_string(), "<");
+        assert_eq!(PointRelation::LE.to_string(), "≤");
+        assert_eq!(PointRelation::NE.to_string(), "≠");
+        assert_eq!(PointRelation::FULL.to_string(), "?");
+        assert_eq!(PointRelation::EMPTY.to_string(), "∅");
+    }
+
+    #[test]
+    fn network_basics() {
+        let mut net = PointNetwork::new();
+        assert!(net.is_empty());
+        assert!(net.solve());
+        let a = net.add_point();
+        assert_eq!(net.len(), 1);
+        assert_eq!(net.constraint(a, a), PointRelation::EQ);
+        assert!(!net.is_empty());
+    }
+}

@@ -1,0 +1,308 @@
+//! Allen's interval algebra — the paper's Table I.
+//!
+//! ROTA formalizes relations between the time intervals of resource terms
+//! using Interval Algebra (Allen 1983). Table I of the paper lists seven
+//! base relations plus their inverses — thirteen in total, because *equals*
+//! is its own inverse. [`AllenRelation`] enumerates all thirteen;
+//! [`AllenRelation::relate`] classifies any pair of intervals into exactly
+//! one of them.
+
+use core::fmt;
+
+use crate::interval::TimeInterval;
+
+/// One of the thirteen basic relations of Allen's interval algebra.
+///
+/// The paper's Table I names the seven canonical relations *before* (`<`),
+/// *after* (`>`), *equal* (`=`), *during* (`∈`), *meets*, *overlaps*,
+/// *starts* and *finishes*; the remaining five are inverses. Exactly one
+/// basic relation holds between any two (non-empty) intervals — this
+/// trichotomy-style property is tested exhaustively below and by the
+/// property suite.
+///
+/// # Examples
+///
+/// ```
+/// use rota_interval::{AllenRelation, TimeInterval};
+///
+/// let a = TimeInterval::from_ticks(0, 3)?;
+/// let b = TimeInterval::from_ticks(3, 5)?;
+/// assert_eq!(AllenRelation::relate(&a, &b), AllenRelation::Meets);
+/// assert_eq!(AllenRelation::relate(&b, &a), AllenRelation::MetBy);
+/// # Ok::<(), rota_interval::EmptyIntervalError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum AllenRelation {
+    /// `τ₁ < τ₂`: `τ₁` ends before `τ₂` begins, with a gap.
+    Before = 0,
+    /// `τ₁ > τ₂`: inverse of [`Before`](AllenRelation::Before).
+    After = 1,
+    /// `τ₁ = τ₂`: identical start and end.
+    Equals = 2,
+    /// `τ₁ ∈ τ₂`: `τ₁` lies strictly inside `τ₂` (both endpoints strict).
+    During = 3,
+    /// Inverse of [`During`](AllenRelation::During): `τ₁` strictly contains `τ₂`.
+    Contains = 4,
+    /// `τ₂` starts immediately after `τ₁` ends (footnote: "τ₂ starts
+    /// immediately after τ₁ ends").
+    Meets = 5,
+    /// Inverse of [`Meets`](AllenRelation::Meets).
+    MetBy = 6,
+    /// `τ₁` starts first and the two overlap without containment.
+    Overlaps = 7,
+    /// Inverse of [`Overlaps`](AllenRelation::Overlaps).
+    OverlappedBy = 8,
+    /// `τ₁` and `τ₂` start together and `τ₁` ends first (footnote: "start at
+    /// the same time point").
+    Starts = 9,
+    /// Inverse of [`Starts`](AllenRelation::Starts).
+    StartedBy = 10,
+    /// `τ₁` and `τ₂` end together and `τ₁` starts later (footnote: "end at
+    /// the same time point").
+    Finishes = 11,
+    /// Inverse of [`Finishes`](AllenRelation::Finishes).
+    FinishedBy = 12,
+}
+
+/// All thirteen relations, indexable by `AllenRelation as usize`.
+pub const ALL_RELATIONS: [AllenRelation; 13] = [
+    AllenRelation::Before,
+    AllenRelation::After,
+    AllenRelation::Equals,
+    AllenRelation::During,
+    AllenRelation::Contains,
+    AllenRelation::Meets,
+    AllenRelation::MetBy,
+    AllenRelation::Overlaps,
+    AllenRelation::OverlappedBy,
+    AllenRelation::Starts,
+    AllenRelation::StartedBy,
+    AllenRelation::Finishes,
+    AllenRelation::FinishedBy,
+];
+
+impl AllenRelation {
+    /// Classifies the relation holding from `a` to `b`.
+    ///
+    /// Exactly one basic relation holds for every pair of non-empty
+    /// intervals, so this function is total and never ambiguous.
+    pub fn relate(a: &TimeInterval, b: &TimeInterval) -> AllenRelation {
+        use core::cmp::Ordering::*;
+        use AllenRelation::*;
+        match (
+            a.start().cmp(&b.start()),
+            a.end().cmp(&b.end()),
+            a.end().cmp(&b.start()),
+            b.end().cmp(&a.start()),
+        ) {
+            (Equal, Equal, _, _) => Equals,
+            (Equal, Less, _, _) => Starts,
+            (Equal, Greater, _, _) => StartedBy,
+            (Greater, Equal, _, _) => Finishes,
+            (Less, Equal, _, _) => FinishedBy,
+            (Greater, Less, _, _) => During,
+            (Less, Greater, _, _) => Contains,
+            (Less, Less, Equal, _) => Meets,
+            (Less, Less, Less, _) => Before,
+            (Less, Less, Greater, _) => Overlaps,
+            (Greater, Greater, _, Equal) => MetBy,
+            (Greater, Greater, _, Less) => After,
+            (Greater, Greater, _, Greater) => OverlappedBy,
+        }
+    }
+
+    /// The inverse relation: `relate(a, b).inverse() == relate(b, a)`.
+    pub const fn inverse(self) -> AllenRelation {
+        use AllenRelation::*;
+        match self {
+            Before => After,
+            After => Before,
+            Equals => Equals,
+            During => Contains,
+            Contains => During,
+            Meets => MetBy,
+            MetBy => Meets,
+            Overlaps => OverlappedBy,
+            OverlappedBy => Overlaps,
+            Starts => StartedBy,
+            StartedBy => Starts,
+            Finishes => FinishedBy,
+            FinishedBy => Finishes,
+        }
+    }
+
+    /// The stable index of this relation in `0..13`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Recovers a relation from its [`index`](AllenRelation::index).
+    pub fn from_index(index: usize) -> Option<AllenRelation> {
+        ALL_RELATIONS.get(index).copied()
+    }
+
+    /// Short canonical symbol, following the paper's Table I where it gives
+    /// one (`<`, `>`, `=`, `∈`) and Allen's conventional letters otherwise.
+    pub const fn symbol(self) -> &'static str {
+        use AllenRelation::*;
+        match self {
+            Before => "<",
+            After => ">",
+            Equals => "=",
+            During => "∈",
+            Contains => "∋",
+            Meets => "m",
+            MetBy => "mi",
+            Overlaps => "o",
+            OverlappedBy => "oi",
+            Starts => "s",
+            StartedBy => "si",
+            Finishes => "f",
+            FinishedBy => "fi",
+        }
+    }
+
+    /// Human-readable name as used in Table I's "Interpretation" column.
+    pub const fn name(self) -> &'static str {
+        use AllenRelation::*;
+        match self {
+            Before => "before",
+            After => "after",
+            Equals => "equals",
+            During => "during",
+            Contains => "contains",
+            Meets => "meets",
+            MetBy => "met-by",
+            Overlaps => "overlaps",
+            OverlappedBy => "overlapped-by",
+            Starts => "starts",
+            StartedBy => "started-by",
+            Finishes => "finishes",
+            FinishedBy => "finished-by",
+        }
+    }
+
+    /// Whether the relation implies the two intervals share at least one
+    /// tick (everything except before/after/meets/met-by).
+    pub const fn implies_overlap(self) -> bool {
+        use AllenRelation::*;
+        !matches!(self, Before | After | Meets | MetBy)
+    }
+}
+
+impl fmt::Display for AllenRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: u64, e: u64) -> TimeInterval {
+        TimeInterval::from_ticks(s, e).unwrap()
+    }
+
+    /// Reproduces Table I of the paper: one witness pair per relation.
+    #[test]
+    fn table_i_witnesses() {
+        use AllenRelation::*;
+        let cases = [
+            (iv(0, 2), iv(3, 5), Before),
+            (iv(3, 5), iv(0, 2), After),
+            (iv(1, 4), iv(1, 4), Equals),
+            (iv(2, 3), iv(1, 5), During),
+            (iv(1, 5), iv(2, 3), Contains),
+            (iv(0, 3), iv(3, 5), Meets),
+            (iv(3, 5), iv(0, 3), MetBy),
+            (iv(0, 3), iv(2, 5), Overlaps),
+            (iv(2, 5), iv(0, 3), OverlappedBy),
+            (iv(1, 3), iv(1, 5), Starts),
+            (iv(1, 5), iv(1, 3), StartedBy),
+            (iv(3, 5), iv(1, 5), Finishes),
+            (iv(1, 5), iv(3, 5), FinishedBy),
+        ];
+        for (a, b, expected) in cases {
+            assert_eq!(AllenRelation::relate(&a, &b), expected, "{a} vs {b}");
+        }
+    }
+
+    /// Every pair of small intervals is classified, and inversely
+    /// symmetrically — exhaustive over endpoints in 0..=6.
+    #[test]
+    fn exhaustive_totality_and_inverse() {
+        let mut intervals = Vec::new();
+        for s in 0..6u64 {
+            for e in (s + 1)..=6 {
+                intervals.push(iv(s, e));
+            }
+        }
+        for a in &intervals {
+            for b in &intervals {
+                let r = AllenRelation::relate(a, b);
+                let ri = AllenRelation::relate(b, a);
+                assert_eq!(r.inverse(), ri, "{a} vs {b}");
+                assert_eq!(r.inverse().inverse(), r);
+            }
+        }
+    }
+
+    /// Each of the 13 relations is realizable (surjectivity of `relate`).
+    #[test]
+    fn exhaustive_surjectivity() {
+        let mut seen = [false; 13];
+        for s1 in 0..6u64 {
+            for e1 in (s1 + 1)..=6 {
+                for s2 in 0..6u64 {
+                    for e2 in (s2 + 1)..=6 {
+                        seen[AllenRelation::relate(&iv(s1, e1), &iv(s2, e2)).index()] = true;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some relation never produced");
+    }
+
+    #[test]
+    fn relation_agrees_with_overlap_predicate() {
+        for s1 in 0..6u64 {
+            for e1 in (s1 + 1)..=6 {
+                for s2 in 0..6u64 {
+                    for e2 in (s2 + 1)..=6 {
+                        let (a, b) = (iv(s1, e1), iv(s2, e2));
+                        let r = AllenRelation::relate(&a, &b);
+                        assert_eq!(r.implies_overlap(), a.overlaps(&b), "{a} {r} {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for r in ALL_RELATIONS {
+            assert_eq!(AllenRelation::from_index(r.index()), Some(r));
+        }
+        assert_eq!(AllenRelation::from_index(13), None);
+    }
+
+    #[test]
+    fn symbols_and_names_are_distinct() {
+        for (i, a) in ALL_RELATIONS.iter().enumerate() {
+            for b in &ALL_RELATIONS[i + 1..] {
+                assert_ne!(a.symbol(), b.symbol());
+                assert_ne!(a.name(), b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn equals_is_self_inverse_only() {
+        for r in ALL_RELATIONS {
+            assert_eq!(r.inverse() == r, r == AllenRelation::Equals);
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Discrete time: points and durations measured in ticks.
+//!
+//! ROTA reasons about resources over a discrete timeline. The paper calls the
+//! smallest accountable slice `Δt` ("the smallest time slice that the system
+//! can account for", defined "according to the desired control granularity").
+//! We fix `Δt` to one **tick** and measure all time as unsigned tick counts,
+//! which keeps every computation in the logic exact — no floating point, no
+//! rounding, and overflow is always checked.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// An instant on the discrete timeline, measured in ticks since the origin.
+///
+/// `TimePoint` is a transparent newtype over `u64` ([C-NEWTYPE]): it prevents
+/// accidental mixing of instants with durations or rates, which all share the
+/// same machine representation.
+///
+/// # Examples
+///
+/// ```
+/// use rota_interval::{TimePoint, TickDuration};
+///
+/// let t = TimePoint::new(10);
+/// assert_eq!(t + TickDuration::new(5), TimePoint::new(15));
+/// assert_eq!(TimePoint::new(15) - t, TickDuration::new(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimePoint(u64);
+
+impl TimePoint {
+    /// The origin of the timeline, tick `0`.
+    pub const ZERO: TimePoint = TimePoint(0);
+    /// The greatest representable instant. Useful as an "effectively never"
+    /// sentinel for horizons.
+    pub const MAX: TimePoint = TimePoint(u64::MAX);
+
+    /// Creates a time point at `ticks` ticks since the origin.
+    #[inline]
+    pub const fn new(ticks: u64) -> Self {
+        TimePoint(ticks)
+    }
+
+    /// Returns the tick count of this instant.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Checked advance: `self + d`, or `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, d: TickDuration) -> Option<Self> {
+        self.0.checked_add(d.0).map(TimePoint)
+    }
+
+    /// Checked rewind: `self - d`, or `None` if the result would precede the
+    /// origin.
+    #[inline]
+    pub fn checked_sub(self, d: TickDuration) -> Option<Self> {
+        self.0.checked_sub(d.0).map(TimePoint)
+    }
+
+    /// Duration from `earlier` to `self`, saturating to zero if `earlier`
+    /// is actually later.
+    #[inline]
+    pub fn saturating_since(self, earlier: TimePoint) -> TickDuration {
+        TickDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: TimePoint) -> TimePoint {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: TimePoint) -> TimePoint {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for TimePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for TimePoint {
+    fn from(ticks: u64) -> Self {
+        TimePoint(ticks)
+    }
+}
+
+impl From<TimePoint> for u64 {
+    fn from(t: TimePoint) -> Self {
+        t.0
+    }
+}
+
+/// A span of time measured in ticks.
+///
+/// The paper's `Δt` is [`TickDuration::DELTA`] — one tick.
+///
+/// # Examples
+///
+/// ```
+/// use rota_interval::TickDuration;
+///
+/// let d = TickDuration::new(3) + TickDuration::new(4);
+/// assert_eq!(d.ticks(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TickDuration(u64);
+
+impl TickDuration {
+    /// The empty duration.
+    pub const ZERO: TickDuration = TickDuration(0);
+    /// The paper's `Δt`: the smallest time slice the system accounts for.
+    pub const DELTA: TickDuration = TickDuration(1);
+    /// The longest representable duration.
+    pub const MAX: TickDuration = TickDuration(u64::MAX);
+
+    /// Creates a duration of `ticks` ticks.
+    #[inline]
+    pub const fn new(ticks: u64) -> Self {
+        TickDuration(ticks)
+    }
+
+    /// Returns the number of ticks spanned.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this duration is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked addition of two durations.
+    #[inline]
+    pub fn checked_add(self, other: TickDuration) -> Option<Self> {
+        self.0.checked_add(other.0).map(TickDuration)
+    }
+
+    /// Checked multiplication by a scalar — used for `rate × Δt` products.
+    #[inline]
+    pub fn checked_mul(self, k: u64) -> Option<Self> {
+        self.0.checked_mul(k).map(TickDuration)
+    }
+}
+
+impl fmt::Display for TickDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}Δt", self.0)
+    }
+}
+
+impl From<u64> for TickDuration {
+    fn from(ticks: u64) -> Self {
+        TickDuration(ticks)
+    }
+}
+
+impl From<TickDuration> for u64 {
+    fn from(d: TickDuration) -> Self {
+        d.0
+    }
+}
+
+impl Add<TickDuration> for TimePoint {
+    type Output = TimePoint;
+    /// # Panics
+    /// Panics on overflow; use [`TimePoint::checked_add`] to handle it.
+    fn add(self, d: TickDuration) -> TimePoint {
+        TimePoint(
+            self.0
+                .checked_add(d.0)
+                .expect("TimePoint + TickDuration overflowed"),
+        )
+    }
+}
+
+impl AddAssign<TickDuration> for TimePoint {
+    fn add_assign(&mut self, d: TickDuration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<TickDuration> for TimePoint {
+    type Output = TimePoint;
+    /// # Panics
+    /// Panics if the result would precede the origin; use
+    /// [`TimePoint::checked_sub`] to handle it.
+    fn sub(self, d: TickDuration) -> TimePoint {
+        TimePoint(
+            self.0
+                .checked_sub(d.0)
+                .expect("TimePoint - TickDuration underflowed"),
+        )
+    }
+}
+
+impl SubAssign<TickDuration> for TimePoint {
+    fn sub_assign(&mut self, d: TickDuration) {
+        *self = *self - d;
+    }
+}
+
+impl Sub<TimePoint> for TimePoint {
+    type Output = TickDuration;
+    /// # Panics
+    /// Panics if `rhs` is later than `self`.
+    fn sub(self, rhs: TimePoint) -> TickDuration {
+        TickDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("TimePoint - TimePoint underflowed"),
+        )
+    }
+}
+
+impl Add<TickDuration> for TickDuration {
+    type Output = TickDuration;
+    /// # Panics
+    /// Panics on overflow; use [`TickDuration::checked_add`] to handle it.
+    fn add(self, other: TickDuration) -> TickDuration {
+        TickDuration(
+            self.0
+                .checked_add(other.0)
+                .expect("TickDuration + TickDuration overflowed"),
+        )
+    }
+}
+
+impl AddAssign<TickDuration> for TickDuration {
+    fn add_assign(&mut self, other: TickDuration) {
+        *self = *self + other;
+    }
+}
+
+impl Sub<TickDuration> for TickDuration {
+    type Output = TickDuration;
+    /// # Panics
+    /// Panics on underflow.
+    fn sub(self, other: TickDuration) -> TickDuration {
+        TickDuration(
+            self.0
+                .checked_sub(other.0)
+                .expect("TickDuration - TickDuration underflowed"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_arithmetic_roundtrips() {
+        let t = TimePoint::new(100);
+        let d = TickDuration::new(42);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert_eq!(TimePoint::MAX.checked_add(TickDuration::DELTA), None);
+        assert_eq!(
+            TimePoint::new(1).checked_add(TickDuration::new(2)),
+            Some(TimePoint::new(3))
+        );
+    }
+
+    #[test]
+    fn checked_sub_detects_underflow() {
+        assert_eq!(TimePoint::ZERO.checked_sub(TickDuration::DELTA), None);
+        assert_eq!(
+            TimePoint::new(5).checked_sub(TickDuration::new(5)),
+            Some(TimePoint::ZERO)
+        );
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = TimePoint::new(3);
+        let b = TimePoint::new(7);
+        assert_eq!(b.saturating_since(a), TickDuration::new(4));
+        assert_eq!(a.saturating_since(b), TickDuration::ZERO);
+    }
+
+    #[test]
+    fn min_max_order() {
+        let a = TimePoint::new(3);
+        let b = TimePoint::new(7);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn delta_is_one_tick() {
+        assert_eq!(TickDuration::DELTA.ticks(), 1);
+        assert!(!TickDuration::DELTA.is_zero());
+        assert!(TickDuration::ZERO.is_zero());
+    }
+
+    #[test]
+    fn duration_scalar_product() {
+        assert_eq!(
+            TickDuration::new(3).checked_mul(4),
+            Some(TickDuration::new(12))
+        );
+        assert_eq!(TickDuration::MAX.checked_mul(2), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TimePoint::new(9).to_string(), "t9");
+        assert_eq!(TickDuration::new(9).to_string(), "9Δt");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(u64::from(TimePoint::from(8u64)), 8);
+        assert_eq!(u64::from(TickDuration::from(8u64)), 8);
+    }
+}

@@ -1,0 +1,158 @@
+//! The ROTA system model `M = (A, R, C, Φ)`.
+//!
+//! Section V-A: "`A` is a set of actor names; `R` is a set of resource
+//! terms; `C` is a set of distributed computations …; `Φ` is a function
+//! which maps computations carried out by actors to the resources they
+//! require." [`SystemModel`] bundles the four components and derives the
+//! initial state and the requirements the formulas and theorems consume.
+
+use std::collections::BTreeSet;
+
+use rota_actor::{
+    ActorName, ConcurrentRequirement, CostModel, DistributedComputation, Granularity,
+};
+use rota_interval::TimePoint;
+use rota_resource::{ResourceSet, ResourceTerm};
+
+use crate::state::State;
+
+/// A ROTA system model: actor names `A`, resource terms `R`, distributed
+/// computations `C`, and the cost function `Φ`.
+pub struct SystemModel<M> {
+    actors: BTreeSet<ActorName>,
+    resources: ResourceSet,
+    computations: Vec<DistributedComputation>,
+    phi: M,
+    granularity: Granularity,
+}
+
+impl<M: CostModel> SystemModel<M> {
+    /// Creates a model with cost function `phi` and no actors, resources
+    /// or computations yet.
+    pub fn new(phi: M) -> Self {
+        SystemModel {
+            actors: BTreeSet::new(),
+            resources: ResourceSet::new(),
+            computations: Vec::new(),
+            phi,
+            granularity: Granularity::MaximalRun,
+        }
+    }
+
+    /// Sets the segmentation granularity used when deriving requirements.
+    #[must_use]
+    pub fn with_granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Adds a resource term to `R`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rate overflow while simplifying (bounded inputs cannot
+    /// trigger this).
+    pub fn add_resource(&mut self, term: ResourceTerm) {
+        self.resources
+            .insert(term)
+            .expect("resource rates overflowed u64");
+    }
+
+    /// Registers a distributed computation in `C` (and its actor names in
+    /// `A`).
+    pub fn add_computation(&mut self, computation: DistributedComputation) {
+        for gamma in computation.actors() {
+            self.actors.insert(gamma.actor().clone());
+        }
+        self.computations.push(computation);
+    }
+
+    /// The actor-name universe `A`.
+    pub fn actors(&self) -> impl Iterator<Item = &ActorName> {
+        self.actors.iter()
+    }
+
+    /// The resource terms `R`, in canonical (simplified) form.
+    pub fn resources(&self) -> &ResourceSet {
+        &self.resources
+    }
+
+    /// The registered computations `C`.
+    pub fn computations(&self) -> &[DistributedComputation] {
+        &self.computations
+    }
+
+    /// The cost function `Φ`.
+    pub fn phi(&self) -> &M {
+        &self.phi
+    }
+
+    /// The segmentation granularity in use.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// The initial state `(Θ, ∅, t₀)` with `Θ = R`.
+    pub fn initial_state(&self, t0: TimePoint) -> State {
+        State::new(self.resources.clone(), t0)
+    }
+
+    /// Derives `ρ(Λ, s, d)` for a registered (or external) computation via
+    /// `Φ` at the model's granularity.
+    pub fn requirement_of(&self, computation: &DistributedComputation) -> ConcurrentRequirement {
+        ConcurrentRequirement::of_computation(computation, &self.phi, self.granularity)
+    }
+}
+
+impl<M: CostModel + core::fmt::Debug> core::fmt::Debug for SystemModel<M> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SystemModel")
+            .field("actors", &self.actors)
+            .field("resources", &self.resources.term_count())
+            .field("computations", &self.computations.len())
+            .field("phi", &self.phi)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rota_actor::{ActionKind, ActorComputation, TableCostModel};
+    use rota_interval::TimeInterval;
+    use rota_resource::{LocatedType, Location, Rate};
+
+    #[test]
+    fn model_registers_components() {
+        let mut m = SystemModel::new(TableCostModel::paper());
+        m.add_resource(ResourceTerm::new(
+            Rate::new(5),
+            TimeInterval::from_ticks(0, 10).unwrap(),
+            LocatedType::cpu(Location::new("l1")),
+        ));
+        let lambda = DistributedComputation::new(
+            "job",
+            vec![
+                ActorComputation::new("a1", "l1").then(ActionKind::evaluate()),
+                ActorComputation::new("a2", "l1").then(ActionKind::Ready),
+            ],
+            TimePoint::ZERO,
+            TimePoint::new(10),
+        )
+        .unwrap();
+        m.add_computation(lambda.clone());
+        assert_eq!(m.actors().count(), 2);
+        assert_eq!(m.computations().len(), 1);
+        assert_eq!(m.resources().term_count(), 1);
+        let req = m.requirement_of(&lambda);
+        assert_eq!(req.parts().len(), 2);
+        let s0 = m.initial_state(TimePoint::ZERO);
+        assert!(s0.rho().is_empty());
+        assert_eq!(s0.theta().term_count(), 1);
+        assert_eq!(m.granularity(), Granularity::MaximalRun);
+        let m = m.with_granularity(Granularity::PerAction);
+        assert_eq!(m.granularity(), Granularity::PerAction);
+        assert!(format!("{m:?}").contains("SystemModel"));
+        let _ = m.phi();
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the logic: scheduler completeness, transition
+//! soundness, and admission (Theorem 4) non-interference.
+
+use proptest::prelude::*;
+use rota_actor::{ActorName, ComplexRequirement, ResourceDemand};
+use rota_interval::{TimeInterval, TimePoint};
+use rota_logic::theorems::accommodate_additional;
+use rota_logic::{exhaustive_schedule_exists, schedule_complex, State};
+use rota_resource::{LocatedType, Location, Quantity, Rate, ResourceSet, ResourceTerm};
+
+const HORIZON: u64 = 12;
+
+fn iv(s: u64, e: u64) -> TimeInterval {
+    TimeInterval::from_ticks(s, e).unwrap()
+}
+
+fn cpu(i: u8) -> LocatedType {
+    LocatedType::cpu(Location::new(format!("l{i}")))
+}
+
+fn arb_theta() -> impl Strategy<Value = ResourceSet> {
+    proptest::collection::vec(
+        (0u8..2, 0u64..HORIZON, 1u64..=4, 0u64..5),
+        0..5,
+    )
+    .prop_map(|parts| {
+        let mut set = ResourceSet::new();
+        for (loc, start, len, rate) in parts {
+            if rate == 0 {
+                continue;
+            }
+            let end = (start + len).min(HORIZON);
+            if start < end {
+                set.insert(ResourceTerm::new(Rate::new(rate), iv(start, end), cpu(loc)))
+                    .unwrap();
+            }
+        }
+        set
+    })
+}
+
+fn arb_requirement() -> impl Strategy<Value = ComplexRequirement> {
+    proptest::collection::vec((0u8..2, 1u64..8), 1..4).prop_map(|segs| {
+        ComplexRequirement::new(
+            segs.into_iter()
+                .map(|(loc, q)| ResourceDemand::single(cpu(loc), Quantity::new(q)))
+                .collect(),
+            iv(0, HORIZON),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The greedy scheduler agrees with the exhaustive breakpoint search
+    /// (Theorem 2's iff, both directions).
+    #[test]
+    fn scheduler_matches_exhaustive(theta in arb_theta(), req in arb_requirement()) {
+        let greedy = schedule_complex(&theta, &req, TimePoint::ZERO).is_ok();
+        let brute = exhaustive_schedule_exists(&theta, &req, TimePoint::ZERO);
+        prop_assert_eq!(greedy, brute);
+    }
+
+    /// Every schedule the scheduler returns is actually executable: the
+    /// greedy path completes every segment within its window.
+    #[test]
+    fn schedules_are_executable(theta in arb_theta(), req in arb_requirement()) {
+        if let Ok(schedule) = schedule_complex(&theta, &req, TimePoint::ZERO) {
+            let completion = schedule.completion();
+            let mut state = State::new(theta.clone(), TimePoint::ZERO);
+            state
+                .accommodate(schedule.into_commitment(ActorName::new("a1"), TimePoint::new(HORIZON)))
+                .unwrap();
+            state.run_greedy(TimePoint::new(HORIZON));
+            prop_assert!(state.rho().is_empty(), "commitment completed");
+            prop_assert!(!state.any_late());
+            prop_assert!(completion <= TimePoint::new(HORIZON));
+        }
+    }
+
+    /// Schedule reservations never exceed availability.
+    #[test]
+    fn reservations_within_availability(theta in arb_theta(), req in arb_requirement()) {
+        if let Ok(schedule) = schedule_complex(&theta, &req, TimePoint::ZERO) {
+            prop_assert!(theta.dominates(&schedule.total_reservation()));
+        }
+    }
+
+    /// Theorem 4 non-interference: admitting a second computation never
+    /// makes the first late, and both complete when executed greedily.
+    #[test]
+    fn admission_non_interference(
+        theta in arb_theta(),
+        req1 in arb_requirement(),
+        req2 in arb_requirement(),
+    ) {
+        let base = State::new(theta, TimePoint::ZERO);
+        let a1 = ActorName::new("a1");
+        let a2 = ActorName::new("a2");
+        let Ok(adm1) = accommodate_additional(&base, &a1, &req1) else {
+            return Ok(());
+        };
+        let state1 = adm1.into_state();
+
+        // Execute with only the first commitment.
+        let mut solo = state1.clone();
+        solo.run_greedy(TimePoint::new(HORIZON));
+        prop_assert!(solo.rho().is_empty() && !solo.any_late());
+
+        // Admit (or refuse) the second and execute the combination.
+        match accommodate_additional(&state1, &a2, &req2) {
+            Ok(adm2) => {
+                let mut both = adm2.into_state();
+                both.run_greedy(TimePoint::new(HORIZON));
+                prop_assert!(both.rho().is_empty(), "both computations complete");
+                prop_assert!(!both.any_late());
+            }
+            Err(_) => {
+                // Refusal is only allowed when the expiring resources
+                // genuinely cannot cover the requirement.
+                let free = state1.expiring_resources();
+                prop_assert!(!exhaustive_schedule_exists(&free, &req2, TimePoint::ZERO));
+            }
+        }
+    }
+
+    /// Time only moves forward, availability only shrinks into the
+    /// future, and stepping never panics with arbitrary greedy runs.
+    #[test]
+    fn transition_monotonicity(theta in arb_theta(), ticks in 0u64..HORIZON) {
+        let mut state = State::new(theta, TimePoint::ZERO);
+        let mut last = state.now();
+        for _ in 0..ticks {
+            state.step_expire();
+            prop_assert!(state.now() > last);
+            last = state.now();
+            // no availability in the past
+            if let Some(h) = state.theta().horizon() {
+                prop_assert!(h >= state.now());
+            }
+        }
+    }
+
+    /// Θ_expire of a commitment-free state is the whole availability, and
+    /// is monotone: admitting a computation never grows it.
+    #[test]
+    fn expiring_resources_shrink_with_admissions(theta in arb_theta(), req in arb_requirement()) {
+        let base = State::new(theta.clone(), TimePoint::ZERO);
+        prop_assert_eq!(base.expiring_resources(), theta.clone());
+        if let Ok(adm) = accommodate_additional(&base, &ActorName::new("a1"), &req) {
+            let after = adm.into_state();
+            let shrunk = after.expiring_resources();
+            prop_assert!(theta.dominates(&shrunk));
+        }
+    }
+
+    /// The fast-path (reservation complement) and simulation fallback for
+    /// Θ_expire agree on reserved-commitment states.
+    #[test]
+    fn expire_fast_path_matches_simulation(theta in arb_theta(), req in arb_requirement()) {
+        let base = State::new(theta, TimePoint::ZERO);
+        if let Ok(adm) = accommodate_additional(&base, &ActorName::new("a1"), &req) {
+            let state = adm.into_state();
+            prop_assert_eq!(state.expiring_resources(), state.expiring_by_simulation());
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Resource representation for ROTA — resource terms and sets over time
+//! and space (Section III of the paper).
+//!
+//! ROTA reifies computational resources as **resource terms** `[r]^τ_ξ`: a
+//! rate of availability `r`, a time interval `τ` ([`rota_interval`]), and a
+//! **located type** `ξ` naming what the resource is and where it resides —
+//! `⟨cpu, l₁⟩` for processor capacity at node `l₁`, `⟨network, l₁→l₂⟩` for
+//! a directed communication channel.
+//!
+//! * [`Location`], [`NodeResourceKind`], [`LocatedType`] — the `ξ` space.
+//! * [`Rate`], [`Quantity`] — units/tick and absolute units, with checked
+//!   arithmetic (negative resource is unrepresentable, per the paper).
+//! * [`ResourceTerm`] — the atom `[r]^τ_ξ`, with the paper's dominance
+//!   comparison and term subtraction.
+//! * [`ResourceProfile`] — piecewise-constant availability: the fixpoint
+//!   of the paper's simplification rule for one located type.
+//! * [`ResourceSet`] — `Θ`: many located types, union / relative
+//!   complement / windowed queries; resources joining and leaving an open
+//!   system are unions and complements on `Θ`.
+//!
+//! # The paper's worked examples
+//!
+//! ```
+//! use rota_interval::TimeInterval;
+//! use rota_resource::{LocatedType, Location, Rate, ResourceSet, ResourceTerm};
+//!
+//! let cpu_l1 = LocatedType::cpu(Location::new("l1"));
+//! let iv = |s, e| TimeInterval::from_ticks(s, e).unwrap();
+//! let t = |r, s, e| ResourceTerm::new(Rate::new(r), iv(s, e), cpu_l1.clone());
+//!
+//! // [5]^(0,3) ∪ [5]^(0,5) = [10]^(0,3) ∪ [5]^(3,5)
+//! let theta = ResourceSet::from_terms([t(5, 0, 3), t(5, 0, 5)])?;
+//! assert_eq!(theta.to_terms(), vec![t(10, 0, 3), t(5, 3, 5)]);
+//!
+//! // [5]^(0,3) \ [3]^(1,2) = [5]^(0,1) ∪ [2]^(1,2) ∪ [5]^(2,3)
+//! let rest = ResourceSet::from_terms([t(5, 0, 3)])?
+//!     .relative_complement(&ResourceSet::from_terms([t(3, 1, 2)])?)?;
+//! assert_eq!(rest.to_terms(), vec![t(5, 0, 1), t(2, 1, 2), t(5, 2, 3)]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod located;
+mod parse;
+mod profile;
+mod rate;
+mod set;
+mod term;
+
+pub use located::{LocatedType, Location, NodeResourceKind};
+pub use parse::ParseTermError;
+pub use profile::{InsufficientRateError, ResourceProfile};
+pub use rate::{OverflowError, Quantity, Rate};
+pub use set::{ResourceSet, ResourceSetError};
+pub use term::{NotDominatedError, ResourceTerm};

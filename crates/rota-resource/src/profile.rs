@@ -1,0 +1,593 @@
+//! Piecewise-constant availability profiles — the normal form for all
+//! same-located-type resource terms.
+//!
+//! The paper's simplification rule aggregates resource terms of identical
+//! located type over the sub-intervals where they overlap:
+//!
+//! ```text
+//! [r₁]^τ₁ ∪ [r₂]^τ₂ = { [r₁]^(τ₁\τ₂), [r₂]^(τ₂\τ₁), [r₁+r₂]^(τ₁∩τ₂) }
+//! ```
+//!
+//! Applying that rule to a fixed point yields a **step function** from time
+//! to rate. [`ResourceProfile`] stores exactly that step function in
+//! canonical form, making simplification idempotent and all availability
+//! queries O(log n) or a single sweep.
+
+use core::fmt;
+
+use rota_interval::{IntervalSet, TimeInterval, TimePoint};
+
+use crate::rate::{OverflowError, Quantity, Rate};
+
+/// A canonical piecewise-constant rate function for one located type.
+///
+/// Invariants (checked in tests): segments are sorted, pairwise disjoint,
+/// carry non-zero rates, and no two *meeting* segments carry equal rates
+/// (those are coalesced — the paper: "resource terms can reduce in number
+/// if two identical located type resources with identical rates have time
+/// intervals that meet").
+///
+/// # Examples
+///
+/// ```
+/// use rota_interval::TimeInterval;
+/// use rota_resource::{Rate, ResourceProfile};
+///
+/// // The paper's second worked example:
+/// //   [5]^(0,3) ∪ [5]^(0,5) = { [10]^(0,3), [5]^(3,5) }
+/// let mut p = ResourceProfile::new();
+/// p.add(TimeInterval::from_ticks(0, 3)?, Rate::new(5))?;
+/// p.add(TimeInterval::from_ticks(0, 5)?, Rate::new(5))?;
+/// let segments: Vec<_> = p.segments().to_vec();
+/// assert_eq!(segments, vec![
+///     (TimeInterval::from_ticks(0, 3)?, Rate::new(10)),
+///     (TimeInterval::from_ticks(3, 5)?, Rate::new(5)),
+/// ]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ResourceProfile {
+    segments: Vec<(TimeInterval, Rate)>,
+}
+
+/// Error from subtracting more than is available at some instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsufficientRateError {
+    at: TimePoint,
+    available: Rate,
+    demanded: Rate,
+}
+
+impl InsufficientRateError {
+    /// The first instant at which availability falls short.
+    pub fn at(&self) -> TimePoint {
+        self.at
+    }
+
+    /// Rate available at that instant.
+    pub fn available(&self) -> Rate {
+        self.available
+    }
+
+    /// Rate demanded at that instant.
+    pub fn demanded(&self) -> Rate {
+        self.demanded
+    }
+}
+
+impl fmt::Display for InsufficientRateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "insufficient rate at {}: available {}, demanded {}",
+            self.at, self.available, self.demanded
+        )
+    }
+}
+
+impl std::error::Error for InsufficientRateError {}
+
+impl ResourceProfile {
+    /// The empty profile (rate 0 everywhere).
+    pub fn new() -> Self {
+        ResourceProfile {
+            segments: Vec::new(),
+        }
+    }
+
+    /// Builds a profile from one constant segment.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a single term; the `Result` mirrors
+    /// [`add`](ResourceProfile::add) for composability.
+    pub fn from_segment(interval: TimeInterval, rate: Rate) -> Result<Self, OverflowError> {
+        let mut p = ResourceProfile::new();
+        p.add(interval, rate)?;
+        Ok(p)
+    }
+
+    /// Whether the profile is zero everywhere.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The canonical segments `(interval, rate)`, ascending, all rates
+    /// non-zero.
+    pub fn segments(&self) -> &[(TimeInterval, Rate)] {
+        &self.segments
+    }
+
+    /// The rate available at tick `t`.
+    pub fn rate_at(&self, t: TimePoint) -> Rate {
+        match self
+            .segments
+            .binary_search_by(|(iv, _)| iv.start().cmp(&t))
+        {
+            Ok(idx) => self.segments[idx].1,
+            Err(0) => Rate::ZERO,
+            Err(idx) => {
+                let (iv, r) = self.segments[idx - 1];
+                if iv.contains_tick(t) {
+                    r
+                } else {
+                    Rate::ZERO
+                }
+            }
+        }
+    }
+
+    /// The minimum rate over every tick of `window` (zero if any gap).
+    pub fn min_rate_over(&self, window: &TimeInterval) -> Rate {
+        let mut min = Rate::new(u64::MAX);
+        let mut covered_until = window.start();
+        for (iv, r) in &self.segments {
+            if iv.end() <= window.start() {
+                continue;
+            }
+            if iv.start() >= window.end() {
+                break;
+            }
+            if iv.start() > covered_until {
+                return Rate::ZERO; // gap inside the window
+            }
+            min = min.min(*r);
+            covered_until = iv.end();
+            if covered_until >= window.end() {
+                break;
+            }
+        }
+        if covered_until < window.end() {
+            return Rate::ZERO;
+        }
+        min
+    }
+
+    /// Total quantity deliverable over `window` — the integral of the rate
+    /// function, i.e. the paper's `⋃ₛᵈ Θ` availability aggregate for this
+    /// located type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverflowError`] if the integral exceeds `u64`.
+    pub fn quantity_over(&self, window: &TimeInterval) -> Result<Quantity, OverflowError> {
+        let mut total = Quantity::ZERO;
+        for (iv, r) in &self.segments {
+            if let Some(shared) = iv.intersect(window) {
+                let part = r.over(shared.duration())?;
+                total = total.checked_add(part).ok_or(OverflowError)?;
+            }
+        }
+        Ok(total)
+    }
+
+    /// The set of ticks with non-zero availability.
+    pub fn support(&self) -> IntervalSet {
+        self.segments.iter().map(|(iv, _)| *iv).collect()
+    }
+
+    /// The last instant with any availability, or `None` when empty.
+    pub fn horizon(&self) -> Option<TimePoint> {
+        self.segments.last().map(|(iv, _)| iv.end())
+    }
+
+    /// Adds `rate` over `interval` (pointwise sum) — the simplification
+    /// rule's aggregation step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverflowError`] if a summed rate exceeds `u64`.
+    pub fn add(&mut self, interval: TimeInterval, rate: Rate) -> Result<(), OverflowError> {
+        if rate.is_zero() {
+            return Ok(()); // null term
+        }
+        self.combine(interval, rate, |have, add| {
+            have.checked_add(add).ok_or(OverflowError)
+        })
+    }
+
+    /// Adds every segment of `other` into `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverflowError`] if a summed rate exceeds `u64`.
+    pub fn add_profile(&mut self, other: &ResourceProfile) -> Result<(), OverflowError> {
+        for (iv, r) in &other.segments {
+            self.add(*iv, *r)?;
+        }
+        Ok(())
+    }
+
+    /// Subtracts `rate` over `interval` (pointwise), failing if
+    /// availability would go negative anywhere — the paper: "resource
+    /// terms cannot be negative."
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InsufficientRateError`] at the first shortfall instant;
+    /// the profile is left unchanged on error.
+    pub fn subtract(
+        &mut self,
+        interval: TimeInterval,
+        rate: Rate,
+    ) -> Result<(), InsufficientRateError> {
+        if rate.is_zero() {
+            return Ok(());
+        }
+        // Pre-check: the window must be fully covered with at least `rate`.
+        let min = self.min_rate_over(&interval);
+        if min < rate {
+            // Locate the first shortfall tick for the error report.
+            let mut at = interval.start();
+            while interval.contains_tick(at) && self.rate_at(at) >= rate {
+                at += rota_interval::TickDuration::DELTA;
+            }
+            return Err(InsufficientRateError {
+                at,
+                available: self.rate_at(at),
+                demanded: rate,
+            });
+        }
+        self.combine(interval, rate, |have, sub| {
+            Ok::<_, OverflowError>(have.saturating_sub(sub))
+        })
+        .expect("subtraction cannot overflow");
+        Ok(())
+    }
+
+    /// Subtracts an entire profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InsufficientRateError`] at the first shortfall; `self` may
+    /// have had earlier segments subtracted already when that happens, so
+    /// on error callers should treat `self` as poisoned (the set-level
+    /// operation in [`crate::ResourceSet`] pre-checks to avoid this).
+    pub fn subtract_profile(
+        &mut self,
+        other: &ResourceProfile,
+    ) -> Result<(), InsufficientRateError> {
+        for (iv, r) in &other.segments {
+            self.subtract(*iv, *r)?;
+        }
+        Ok(())
+    }
+
+    /// Whether `self` pointwise dominates `other` (can supply at least
+    /// `other`'s rate at every tick).
+    pub fn dominates(&self, other: &ResourceProfile) -> bool {
+        other
+            .segments
+            .iter()
+            .all(|(iv, r)| self.min_rate_over(iv) >= *r)
+    }
+
+    /// Drops all availability before `t` — used when time advances and
+    /// un-consumed resource expires (the paper's expiration rules).
+    pub fn truncate_before(&mut self, t: TimePoint) {
+        let mut out = Vec::with_capacity(self.segments.len());
+        for (iv, r) in &self.segments {
+            if iv.end() <= t {
+                continue;
+            }
+            let start = iv.start().max(t);
+            let trimmed = TimeInterval::new(start, iv.end()).expect("end > t and end > start");
+            out.push((trimmed, *r));
+        }
+        self.segments = out;
+    }
+
+    /// Zeroes the profile over every tick covered by `ticks`, keeping the
+    /// rest — the complement of [`clamp`](ResourceProfile::clamp) against
+    /// an arbitrary tick set. Used to mark whole ticks as claimed: ROTA's
+    /// transition rules deliver a located type's full tick to a single
+    /// consumer, so a claimed tick offers nothing to anyone else even if
+    /// extra rate later joins on it.
+    #[must_use]
+    pub fn exclude(&self, ticks: &IntervalSet) -> ResourceProfile {
+        let mut segments = Vec::with_capacity(self.segments.len());
+        for (iv, r) in &self.segments {
+            let keep = IntervalSet::from_interval(*iv).difference(ticks);
+            for span in keep.spans() {
+                segments.push((*span, *r));
+            }
+        }
+        ResourceProfile {
+            segments: canonicalize(segments),
+        }
+    }
+
+    /// Restricts the profile to `window`.
+    #[must_use]
+    pub fn clamp(&self, window: &TimeInterval) -> ResourceProfile {
+        let segments = self
+            .segments
+            .iter()
+            .filter_map(|(iv, r)| iv.intersect(window).map(|shared| (shared, *r)))
+            .collect();
+        ResourceProfile { segments }
+    }
+
+    /// Core sweep: rebuilds the segment list with `op(current, rate)`
+    /// applied over `interval` and identity elsewhere, re-canonicalizing.
+    fn combine<E>(
+        &mut self,
+        interval: TimeInterval,
+        rate: Rate,
+        op: impl Fn(Rate, Rate) -> Result<Rate, E>,
+    ) -> Result<(), E> {
+        // Collect boundary points: existing segment edges plus the new
+        // interval's edges, then evaluate each elementary piece.
+        let mut bounds: Vec<TimePoint> = Vec::with_capacity(self.segments.len() * 2 + 2);
+        bounds.push(interval.start());
+        bounds.push(interval.end());
+        for (iv, _) in &self.segments {
+            bounds.push(iv.start());
+            bounds.push(iv.end());
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut pieces: Vec<(TimeInterval, Rate)> = Vec::with_capacity(bounds.len());
+        for w in bounds.windows(2) {
+            let piece = TimeInterval::new(w[0], w[1]).expect("deduped ascending bounds");
+            let base = self.rate_at(piece.start());
+            let value = if interval.contains_interval(&piece) {
+                op(base, rate)?
+            } else {
+                base
+            };
+            if !value.is_zero() {
+                pieces.push((piece, value));
+            }
+        }
+        self.segments = canonicalize(pieces);
+        Ok(())
+    }
+}
+
+/// Merges meeting equal-rate segments; input must be sorted and disjoint.
+fn canonicalize(pieces: Vec<(TimeInterval, Rate)>) -> Vec<(TimeInterval, Rate)> {
+    let mut out: Vec<(TimeInterval, Rate)> = Vec::with_capacity(pieces.len());
+    for (iv, r) in pieces {
+        if let Some((last_iv, last_r)) = out.last_mut() {
+            if *last_r == r && last_iv.meets(&iv) {
+                *last_iv = last_iv.union_contiguous(&iv).expect("meets implies contiguous");
+                continue;
+            }
+        }
+        out.push((iv, r));
+    }
+    out
+}
+
+impl fmt::Display for ResourceProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.segments.is_empty() {
+            return f.write_str("0");
+        }
+        let mut first = true;
+        for (iv, r) in &self.segments {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            write!(f, "[{}]^{}", r.units_per_tick(), iv)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: u64, e: u64) -> TimeInterval {
+        TimeInterval::from_ticks(s, e).unwrap()
+    }
+
+    fn profile(parts: &[(u64, u64, u64)]) -> ResourceProfile {
+        let mut p = ResourceProfile::new();
+        for &(s, e, r) in parts {
+            p.add(iv(s, e), Rate::new(r)).unwrap();
+        }
+        p
+    }
+
+    fn assert_canonical(p: &ResourceProfile) {
+        for (iv, r) in p.segments() {
+            assert!(!r.is_zero(), "zero-rate segment {iv}");
+        }
+        for w in p.segments().windows(2) {
+            let ((a, ra), (b, rb)) = (w[0], w[1]);
+            assert!(a.end() <= b.start(), "overlap {a} {b}");
+            assert!(
+                !(a.meets(&b) && ra == rb),
+                "uncoalesced equal-rate meet {a} {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_example_aggregation() {
+        // [5]^(0,3) ∪ [5]^(0,5) = [10]^(0,3), [5]^(3,5)
+        let p = profile(&[(0, 3, 5), (0, 5, 5)]);
+        assert_eq!(
+            p.segments(),
+            &[(iv(0, 3), Rate::new(10)), (iv(3, 5), Rate::new(5))]
+        );
+        assert_canonical(&p);
+    }
+
+    #[test]
+    fn meeting_equal_rates_coalesce() {
+        let p = profile(&[(0, 3, 5), (3, 7, 5)]);
+        assert_eq!(p.segments(), &[(iv(0, 7), Rate::new(5))]);
+    }
+
+    #[test]
+    fn zero_rate_add_is_noop() {
+        let mut p = profile(&[(0, 3, 5)]);
+        p.add(iv(0, 10), Rate::ZERO).unwrap();
+        assert_eq!(p, profile(&[(0, 3, 5)]));
+    }
+
+    #[test]
+    fn rate_at_queries() {
+        let p = profile(&[(0, 3, 5), (5, 8, 2)]);
+        assert_eq!(p.rate_at(TimePoint::new(0)), Rate::new(5));
+        assert_eq!(p.rate_at(TimePoint::new(2)), Rate::new(5));
+        assert_eq!(p.rate_at(TimePoint::new(3)), Rate::ZERO);
+        assert_eq!(p.rate_at(TimePoint::new(4)), Rate::ZERO);
+        assert_eq!(p.rate_at(TimePoint::new(5)), Rate::new(2));
+        assert_eq!(p.rate_at(TimePoint::new(7)), Rate::new(2));
+        assert_eq!(p.rate_at(TimePoint::new(8)), Rate::ZERO);
+    }
+
+    #[test]
+    fn min_rate_over_detects_gaps_and_minima() {
+        let p = profile(&[(0, 3, 5), (3, 8, 2)]);
+        assert_eq!(p.min_rate_over(&iv(0, 8)), Rate::new(2));
+        assert_eq!(p.min_rate_over(&iv(0, 3)), Rate::new(5));
+        assert_eq!(p.min_rate_over(&iv(0, 9)), Rate::ZERO); // runs past horizon
+        let gappy = profile(&[(0, 2, 5), (4, 6, 5)]);
+        assert_eq!(gappy.min_rate_over(&iv(0, 6)), Rate::ZERO);
+        assert_eq!(gappy.min_rate_over(&iv(4, 6)), Rate::new(5));
+    }
+
+    #[test]
+    fn quantity_integrates() {
+        let p = profile(&[(0, 3, 5), (3, 8, 2)]);
+        assert_eq!(p.quantity_over(&iv(0, 8)).unwrap(), Quantity::new(25));
+        assert_eq!(p.quantity_over(&iv(2, 4)).unwrap(), Quantity::new(7));
+        assert_eq!(p.quantity_over(&iv(100, 101)).unwrap(), Quantity::ZERO);
+    }
+
+    #[test]
+    fn subtract_paper_example() {
+        // [5]^(0,3) \ [3]^(1,2) = [5]^(0,1), [2]^(1,2), [5]^(2,3)
+        let mut p = profile(&[(0, 3, 5)]);
+        p.subtract(iv(1, 2), Rate::new(3)).unwrap();
+        assert_eq!(
+            p.segments(),
+            &[
+                (iv(0, 1), Rate::new(5)),
+                (iv(1, 2), Rate::new(2)),
+                (iv(2, 3), Rate::new(5)),
+            ]
+        );
+        assert_canonical(&p);
+    }
+
+    #[test]
+    fn subtract_insufficient_reports_first_shortfall() {
+        let mut p = profile(&[(0, 3, 5), (3, 6, 1)]);
+        let before = p.clone();
+        let err = p.subtract(iv(0, 6), Rate::new(2)).unwrap_err();
+        assert_eq!(err.at(), TimePoint::new(3));
+        assert_eq!(err.available(), Rate::new(1));
+        assert_eq!(err.demanded(), Rate::new(2));
+        assert_eq!(p, before, "profile unchanged on error");
+    }
+
+    #[test]
+    fn subtract_gap_fails() {
+        let mut p = profile(&[(0, 2, 5)]);
+        assert!(p.subtract(iv(0, 4), Rate::new(1)).is_err());
+    }
+
+    #[test]
+    fn dominates_pointwise() {
+        let big = profile(&[(0, 10, 5)]);
+        assert!(big.dominates(&profile(&[(2, 4, 3), (6, 8, 5)])));
+        assert!(!big.dominates(&profile(&[(2, 4, 6)])));
+        assert!(!big.dominates(&profile(&[(8, 12, 1)])));
+        assert!(big.dominates(&ResourceProfile::new()));
+    }
+
+    #[test]
+    fn truncate_expires_past_availability() {
+        let mut p = profile(&[(0, 3, 5), (5, 8, 2)]);
+        p.truncate_before(TimePoint::new(2));
+        assert_eq!(
+            p.segments(),
+            &[(iv(2, 3), Rate::new(5)), (iv(5, 8), Rate::new(2))]
+        );
+        p.truncate_before(TimePoint::new(4));
+        assert_eq!(p.segments(), &[(iv(5, 8), Rate::new(2))]);
+        p.truncate_before(TimePoint::new(100));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn exclude_zeroes_claimed_ticks() {
+        use rota_interval::IntervalSet;
+        let p = profile(&[(0, 6, 5)]);
+        let claimed: IntervalSet = [iv(1, 2), iv(4, 5)].into_iter().collect();
+        let left = p.exclude(&claimed);
+        assert_eq!(
+            left.segments(),
+            &[
+                (iv(0, 1), Rate::new(5)),
+                (iv(2, 4), Rate::new(5)),
+                (iv(5, 6), Rate::new(5)),
+            ]
+        );
+        // excluding nothing is identity; excluding everything empties
+        assert_eq!(p.exclude(&IntervalSet::new()), p);
+        assert!(p.exclude(&IntervalSet::from_interval(iv(0, 6))).is_empty());
+        assert_canonical(&left);
+    }
+
+    #[test]
+    fn clamp_restricts() {
+        let p = profile(&[(0, 3, 5), (5, 8, 2)]);
+        let c = p.clamp(&iv(2, 6));
+        assert_eq!(
+            c.segments(),
+            &[(iv(2, 3), Rate::new(5)), (iv(5, 6), Rate::new(2))]
+        );
+    }
+
+    #[test]
+    fn support_and_horizon() {
+        let p = profile(&[(0, 3, 5), (5, 8, 2)]);
+        assert_eq!(p.support().spans(), &[iv(0, 3), iv(5, 8)]);
+        assert_eq!(p.horizon(), Some(TimePoint::new(8)));
+        assert_eq!(ResourceProfile::new().horizon(), None);
+    }
+
+    #[test]
+    fn add_overflow_detected() {
+        let mut p = profile(&[(0, 3, u64::MAX)]);
+        assert!(p.add(iv(0, 3), Rate::new(1)).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ResourceProfile::new().to_string(), "0");
+        assert_eq!(
+            profile(&[(0, 3, 5), (5, 8, 2)]).to_string(),
+            "[5]^(0,3), [2]^(5,8)"
+        );
+    }
+}

@@ -1,0 +1,283 @@
+//! Resource terms `[r]^τ_ξ` — the atoms of ROTA's resource representation.
+//!
+//! "Each computational resource is represented by a resource term `[r]^τ_ξ`,
+//! where `r` represents the rate of availability of the resource, `τ` is
+//! the time interval, and `ξ` denotes the located type."
+
+use core::fmt;
+
+use rota_interval::{AllenRelation, TimeInterval};
+
+use crate::located::LocatedType;
+use crate::rate::{OverflowError, Quantity, Rate};
+
+/// A resource term `[r]^τ_ξ`: resource of located type `ξ` available at
+/// rate `r` throughout time interval `τ`.
+///
+/// Terms with zero rate are *null* in the paper's terminology ("if the time
+/// interval of a resource term is empty, the value of the resource term is
+/// 0, or null"); empty intervals are unrepresentable by construction
+/// ([`TimeInterval`] is always non-empty), and zero-rate terms are dropped
+/// during [`ResourceSet`](crate::ResourceSet) normalization.
+///
+/// # Examples
+///
+/// ```
+/// use rota_interval::TimeInterval;
+/// use rota_resource::{LocatedType, Location, Rate, ResourceTerm};
+///
+/// // The paper's [5]^(0,3)_⟨cpu,l1⟩:
+/// let term = ResourceTerm::new(
+///     Rate::new(5),
+///     TimeInterval::from_ticks(0, 3)?,
+///     LocatedType::cpu(Location::new("l1")),
+/// );
+/// assert_eq!(term.total_quantity()?.units(), 15); // r × τ
+/// assert_eq!(term.to_string(), "[5]^(0,3)_⟨cpu, l1⟩");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceTerm {
+    located: LocatedType,
+    interval: TimeInterval,
+    rate: Rate,
+}
+
+impl ResourceTerm {
+    /// Creates the term `[rate]^interval_located`.
+    pub fn new(rate: Rate, interval: TimeInterval, located: LocatedType) -> Self {
+        ResourceTerm {
+            located,
+            interval,
+            rate,
+        }
+    }
+
+    /// The availability rate `r`.
+    pub fn rate(&self) -> Rate {
+        self.rate
+    }
+
+    /// The availability window `τ`.
+    pub fn interval(&self) -> TimeInterval {
+        self.interval
+    }
+
+    /// The located type `ξ`.
+    pub fn located(&self) -> &LocatedType {
+        &self.located
+    }
+
+    /// Whether the term is null (zero rate — provides nothing).
+    pub fn is_null(&self) -> bool {
+        self.rate.is_zero()
+    }
+
+    /// The paper's footnote-1 product `r × τ`: total quantity available
+    /// over the term's interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OverflowError`] if the product exceeds `u64`.
+    pub fn total_quantity(&self) -> Result<Quantity, OverflowError> {
+        self.rate.over(self.interval.duration())
+    }
+
+    /// The paper's strict inequality on resource terms:
+    /// `[r₁]^τ₁_ξ₁ > [r₂]^τ₂_ξ₂` iff the types match, `r₁ > r₂`, and `τ₂`
+    /// is *during-or-equal* `τ₁` — a computation that required the
+    /// right-hand term can use the left-hand one instead, with some spare.
+    ///
+    /// Note the paper's remark: it is **not** enough for the total quantity
+    /// to be greater — the availability must cover the required window.
+    pub fn exceeds(&self, other: &ResourceTerm) -> bool {
+        self.located == other.located
+            && self.rate > other.rate
+            && self.interval.contains_interval(&other.interval)
+    }
+
+    /// Non-strict variant of [`exceeds`](ResourceTerm::exceeds): the term
+    /// can stand in for `other` (possibly with nothing to spare). This is
+    /// the condition under which the relative complement
+    /// `self - other` is well defined and non-negative.
+    pub fn can_supply(&self, other: &ResourceTerm) -> bool {
+        self.located == other.located
+            && self.rate >= other.rate
+            && self.interval.contains_interval(&other.interval)
+    }
+
+    /// The Allen relation from this term's interval to `other`'s.
+    pub fn interval_relation(&self, other: &ResourceTerm) -> AllenRelation {
+        AllenRelation::relate(&self.interval, &other.interval)
+    }
+
+    /// Term subtraction per the paper:
+    /// `[r₁]^τ₁ - [r₂]^τ₂ = { [r₁]^(τ₁\τ₂), [r₁-r₂]^τ₂ }` — the remainder
+    /// keeps rate `r₁` outside the subtracted window and rate `r₁ - r₂`
+    /// inside it. Null (zero-rate) pieces are omitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotDominatedError`] unless `self.can_supply(other)`.
+    pub fn subtract(&self, other: &ResourceTerm) -> Result<Vec<ResourceTerm>, NotDominatedError> {
+        if !self.can_supply(other) {
+            return Err(NotDominatedError {
+                have: Box::new(self.clone()),
+                need: Box::new(other.clone()),
+            });
+        }
+        let mut out = Vec::with_capacity(3);
+        for piece in self.interval.difference(&other.interval) {
+            out.push(ResourceTerm::new(self.rate, piece, self.located.clone()));
+        }
+        let inner_rate = self.rate - other.rate;
+        if !inner_rate.is_zero() {
+            out.push(ResourceTerm::new(
+                inner_rate,
+                other.interval,
+                self.located.clone(),
+            ));
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+impl fmt::Display for ResourceTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}]^{}_{}",
+            self.rate.units_per_tick(),
+            self.interval,
+            self.located
+        )
+    }
+}
+
+/// Error returned when a subtraction's right-hand side is not dominated by
+/// the left-hand side — the paper defines relative complement only when
+/// every subtracted term is exceeded by an available one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotDominatedError {
+    have: Box<ResourceTerm>,
+    need: Box<ResourceTerm>,
+}
+
+impl NotDominatedError {
+    /// The insufficient available term (or the closest candidate).
+    pub fn have(&self) -> &ResourceTerm {
+        &self.have
+    }
+
+    /// The demanded term that could not be covered.
+    pub fn need(&self) -> &ResourceTerm {
+        &self.need
+    }
+}
+
+impl fmt::Display for NotDominatedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "resource term {} cannot supply demanded term {}",
+            self.have, self.need
+        )
+    }
+}
+
+impl std::error::Error for NotDominatedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::located::Location;
+
+    fn iv(s: u64, e: u64) -> TimeInterval {
+        TimeInterval::from_ticks(s, e).unwrap()
+    }
+
+    fn cpu_l1() -> LocatedType {
+        LocatedType::cpu(Location::new("l1"))
+    }
+
+    fn term(r: u64, s: u64, e: u64) -> ResourceTerm {
+        ResourceTerm::new(Rate::new(r), iv(s, e), cpu_l1())
+    }
+
+    #[test]
+    fn quantity_is_rate_times_duration() {
+        assert_eq!(term(5, 0, 3).total_quantity().unwrap(), Quantity::new(15));
+    }
+
+    #[test]
+    fn exceeds_requires_all_three_conditions() {
+        let big = term(5, 0, 10);
+        assert!(big.exceeds(&term(3, 2, 5)));
+        // equal rate is not strict excess
+        assert!(!big.exceeds(&term(5, 2, 5)));
+        assert!(big.can_supply(&term(5, 2, 5)));
+        // window not covered
+        assert!(!big.exceeds(&term(3, 8, 12)));
+        assert!(!big.can_supply(&term(3, 8, 12)));
+        // wrong located type
+        let elsewhere = ResourceTerm::new(Rate::new(3), iv(2, 5), LocatedType::cpu("l2".into()));
+        assert!(!big.exceeds(&elsewhere));
+    }
+
+    /// The paper's own caution: larger *total* quantity does not imply the
+    /// term can satisfy a requirement confined to a window.
+    #[test]
+    fn total_quantity_is_not_sufficient_for_dominance() {
+        let spread = term(2, 0, 100); // total 200
+        let burst = term(10, 10, 12); // total 20
+        assert!(spread.total_quantity().unwrap() > burst.total_quantity().unwrap());
+        assert!(!spread.can_supply(&burst));
+    }
+
+    #[test]
+    fn subtract_splits_around_window() {
+        // [5]^(0,3) - [3]^(1,2) = {[5]^(0,1), [2]^(1,2), [5]^(2,3)} — the
+        // paper's third worked example.
+        let pieces = term(5, 0, 3).subtract(&term(3, 1, 2)).unwrap();
+        assert_eq!(pieces, vec![term(5, 0, 1), term(2, 1, 2), term(5, 2, 3)]);
+    }
+
+    #[test]
+    fn subtract_equal_rate_drops_null_piece() {
+        let pieces = term(5, 0, 5).subtract(&term(5, 1, 3)).unwrap();
+        assert_eq!(pieces, vec![term(5, 0, 1), term(5, 3, 5)]);
+    }
+
+    #[test]
+    fn subtract_exact_match_is_empty() {
+        assert!(term(5, 0, 5).subtract(&term(5, 0, 5)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn subtract_requires_dominance() {
+        let err = term(2, 0, 3).subtract(&term(5, 0, 3)).unwrap_err();
+        assert_eq!(err.have(), &term(2, 0, 3));
+        assert_eq!(err.need(), &term(5, 0, 3));
+        assert!(err.to_string().contains("cannot supply"));
+    }
+
+    #[test]
+    fn interval_relation_delegates() {
+        assert_eq!(
+            term(1, 0, 3).interval_relation(&term(1, 3, 5)),
+            AllenRelation::Meets
+        );
+    }
+
+    #[test]
+    fn null_detection() {
+        assert!(ResourceTerm::new(Rate::ZERO, iv(0, 1), cpu_l1()).is_null());
+        assert!(!term(1, 0, 1).is_null());
+    }
+
+    #[test]
+    fn display_matches_paper() {
+        assert_eq!(term(5, 0, 3).to_string(), "[5]^(0,3)_⟨cpu, l1⟩");
+    }
+}

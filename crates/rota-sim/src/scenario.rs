@@ -1,0 +1,159 @@
+//! Scenarios: a reproducible description of an open system's life — the
+//! initial resources, every churn/arrival event, and the horizon.
+
+use rota_admission::AdmissionRequest;
+use rota_interval::TimePoint;
+use rota_resource::{Quantity, ResourceSet};
+
+use crate::event::{Event, EventQueue};
+
+/// A timed event in a scenario description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// When the event fires.
+    pub at: TimePoint,
+    /// What happens.
+    pub event: Event,
+}
+
+/// A complete, reproducible simulation input.
+#[derive(Debug, Clone, Default)]
+pub struct Scenario {
+    initial: ResourceSet,
+    events: Vec<TimedEvent>,
+    horizon: TimePoint,
+}
+
+impl Scenario {
+    /// An empty scenario ending at `horizon`.
+    pub fn new(horizon: TimePoint) -> Self {
+        Scenario {
+            initial: ResourceSet::new(),
+            events: Vec::new(),
+            horizon,
+        }
+    }
+
+    /// Sets the resources present at time zero.
+    #[must_use]
+    pub fn with_initial(mut self, theta: ResourceSet) -> Self {
+        self.initial = theta;
+        self
+    }
+
+    /// Schedules a resource join.
+    pub fn add_join(&mut self, at: TimePoint, theta: ResourceSet) {
+        self.events.push(TimedEvent {
+            at,
+            event: Event::ResourceJoin { theta },
+        });
+    }
+
+    /// Schedules a computation arrival.
+    pub fn add_arrival(&mut self, at: TimePoint, request: AdmissionRequest) {
+        self.events.push(TimedEvent {
+            at,
+            event: Event::Arrival { request },
+        });
+    }
+
+    /// Schedules a computation leave (withdrawal before start).
+    pub fn add_leave(&mut self, at: TimePoint, actors: Vec<rota_actor::ActorName>) {
+        self.events.push(TimedEvent {
+            at,
+            event: Event::ComputationLeave { actors },
+        });
+    }
+
+    /// The initial resources.
+    pub fn initial(&self) -> &ResourceSet {
+        &self.initial
+    }
+
+    /// The scheduled events (unsorted; the queue orders them).
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// The simulation horizon.
+    pub fn horizon(&self) -> TimePoint {
+        self.horizon
+    }
+
+    /// Number of arrival events.
+    pub fn arrival_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.event, Event::Arrival { .. }))
+            .count()
+    }
+
+    /// Total resource units offered across the initial set and every
+    /// join, integrated over each term's interval — the denominator for
+    /// utilization metrics.
+    pub fn offered_units(&self) -> u64 {
+        let mut total: u64 = total_units(&self.initial);
+        for e in &self.events {
+            if let Event::ResourceJoin { theta } = &e.event {
+                total = total.saturating_add(total_units(theta));
+            }
+        }
+        total
+    }
+
+    /// Builds the event queue for a run.
+    pub(crate) fn queue(&self) -> EventQueue {
+        let mut q = EventQueue::new();
+        for e in &self.events {
+            q.push(e.at, e.event.clone());
+        }
+        q
+    }
+}
+
+fn total_units(theta: &ResourceSet) -> u64 {
+    theta
+        .to_terms()
+        .iter()
+        .map(|t| t.total_quantity().map(Quantity::units).unwrap_or(u64::MAX))
+        .fold(0u64, u64::saturating_add)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rota_interval::TimeInterval;
+    use rota_resource::{LocatedType, Location, Rate, ResourceTerm};
+
+    fn theta(rate: u64, s: u64, e: u64) -> ResourceSet {
+        [ResourceTerm::new(
+            Rate::new(rate),
+            TimeInterval::from_ticks(s, e).unwrap(),
+            LocatedType::cpu(Location::new("l1")),
+        )]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn offered_units_integrates_all_sources() {
+        let mut s = Scenario::new(TimePoint::new(20)).with_initial(theta(2, 0, 10));
+        s.add_join(TimePoint::new(5), theta(3, 5, 10));
+        assert_eq!(s.offered_units(), 20 + 15);
+        assert_eq!(s.arrival_count(), 0);
+        assert_eq!(s.horizon(), TimePoint::new(20));
+        assert_eq!(s.events().len(), 1);
+        assert!(!s.initial().is_empty());
+    }
+
+    #[test]
+    fn queue_orders_events() {
+        let mut s = Scenario::new(TimePoint::new(20));
+        s.add_join(TimePoint::new(9), theta(1, 9, 10));
+        s.add_join(TimePoint::new(2), theta(1, 2, 3));
+        let mut q = s.queue();
+        assert_eq!(q.next_time(), Some(TimePoint::new(2)));
+        q.pop_due(TimePoint::new(2)).unwrap();
+        assert_eq!(q.next_time(), Some(TimePoint::new(9)));
+    }
+}

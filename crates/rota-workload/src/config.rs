@@ -1,0 +1,183 @@
+//! Workload configuration: the knobs every experiment sweeps.
+
+use rota_actor::Granularity;
+
+/// Shape of an arriving computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobShape {
+    /// One actor evaluating `evals` expressions at its home node — the
+    /// simplest sequential computation.
+    Chain {
+        /// Number of evaluate actions.
+        evals: usize,
+    },
+    /// `actors` independent actors, each a chain of `evals_each`
+    /// evaluations, spread round-robin over the nodes — the paper's
+    /// concurrent multi-actor computation.
+    ForkJoin {
+        /// Number of actors created en masse.
+        actors: usize,
+        /// Evaluations per actor.
+        evals_each: usize,
+    },
+    /// One actor that alternates evaluating and migrating across `hops`
+    /// nodes — exercising multi-type (CPU + network) segments.
+    Pipeline {
+        /// Number of migrations.
+        hops: usize,
+    },
+    /// Uniformly one of the three shapes above (with small default
+    /// parameters drawn per job).
+    Mixed,
+}
+
+/// Configuration for scenario generation. All randomness is drawn from a
+/// seeded PRNG — identical configs produce identical scenarios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// PRNG seed.
+    pub seed: u64,
+    /// Number of nodes (locations `l0 … l{n−1}`).
+    pub nodes: usize,
+    /// Scenario horizon in ticks.
+    pub horizon: u64,
+    /// Base CPU rate per node, units/tick.
+    pub node_rate: u64,
+    /// Base network rate per directed ring link, units/tick (links are
+    /// created between consecutive nodes, both directions).
+    pub link_rate: u64,
+    /// Offered load: total demanded units as a fraction of total offered
+    /// units (1.0 ≈ demand equals capacity).
+    pub load: f64,
+    /// Shape of arriving jobs.
+    pub shape: JobShape,
+    /// Deadline slack factor: a job whose bare demand needs `w` ticks at
+    /// full rate gets a window of `w × slack` ticks (min 1).
+    pub slack: f64,
+    /// Per-tick probability that an extra resource lease joins.
+    pub churn_join_prob: f64,
+    /// Lease length of churned resources, in ticks.
+    pub churn_lease: u64,
+    /// Rate of churned leases, units/tick.
+    pub churn_rate: u64,
+    /// Segmentation granularity used when pricing requests.
+    pub granularity: Granularity,
+    /// Maximum delay between a job's arrival and its earliest start
+    /// (drawn uniformly); 0 means jobs may start on arrival.
+    pub start_delay_max: u64,
+    /// Probability that a job with a delayed start withdraws (the
+    /// computation-leave rule) before starting.
+    pub cancel_prob: f64,
+}
+
+impl WorkloadConfig {
+    /// A small, balanced default: 4 nodes, 64-tick horizon, chain jobs at
+    /// load 0.5, no churn.
+    pub fn new(seed: u64) -> Self {
+        WorkloadConfig {
+            seed,
+            nodes: 4,
+            horizon: 64,
+            node_rate: 4,
+            link_rate: 4,
+            load: 0.5,
+            shape: JobShape::Chain { evals: 3 },
+            slack: 2.0,
+            churn_join_prob: 0.0,
+            churn_lease: 8,
+            churn_rate: 2,
+            granularity: Granularity::MaximalRun,
+            start_delay_max: 0,
+            cancel_prob: 0.0,
+        }
+    }
+
+    /// Sets the offered load.
+    #[must_use]
+    pub fn with_load(mut self, load: f64) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Sets the node count.
+    #[must_use]
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Sets the horizon.
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: u64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the job shape.
+    #[must_use]
+    pub fn with_shape(mut self, shape: JobShape) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// Sets the deadline slack factor.
+    #[must_use]
+    pub fn with_slack(mut self, slack: f64) -> Self {
+        self.slack = slack;
+        self
+    }
+
+    /// Enables resource churn.
+    #[must_use]
+    pub fn with_churn(mut self, join_prob: f64, lease: u64, rate: u64) -> Self {
+        self.churn_join_prob = join_prob;
+        self.churn_lease = lease;
+        self.churn_rate = rate;
+        self
+    }
+
+    /// Sets the pricing granularity.
+    #[must_use]
+    pub fn with_granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Enables delayed starts and withdrawal (computation-leave) churn.
+    #[must_use]
+    pub fn with_cancellation(mut self, start_delay_max: u64, cancel_prob: f64) -> Self {
+        self.start_delay_max = start_delay_max;
+        self.cancel_prob = cancel_prob;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = WorkloadConfig::new(7)
+            .with_load(1.5)
+            .with_nodes(8)
+            .with_horizon(128)
+            .with_shape(JobShape::Pipeline { hops: 2 })
+            .with_slack(3.0)
+            .with_churn(0.1, 16, 3)
+            .with_granularity(Granularity::PerAction)
+            .with_cancellation(8, 0.25);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.load, 1.5);
+        assert_eq!(c.nodes, 8);
+        assert_eq!(c.horizon, 128);
+        assert_eq!(c.shape, JobShape::Pipeline { hops: 2 });
+        assert_eq!(c.slack, 3.0);
+        assert_eq!(c.churn_join_prob, 0.1);
+        assert_eq!(c.churn_lease, 16);
+        assert_eq!(c.churn_rate, 3);
+        assert_eq!(c.granularity, Granularity::PerAction);
+        assert_eq!(c.start_delay_max, 8);
+        assert_eq!(c.cancel_prob, 0.25);
+    }
+}

@@ -1,0 +1,32 @@
+//! Synthetic workload generation for the ROTA experiment suite.
+//!
+//! The paper evaluates nothing empirically; this crate generates the open
+//! -system workloads its model implies so the experiment suite (E5–E10)
+//! can measure the policies: seeded, reproducible scenarios combining
+//!
+//! * a base system of nodes with CPU capacity and a ring of directed
+//!   network links ([`base_resources`]),
+//! * resource churn — leases that join for bounded intervals
+//!   ([`WorkloadConfig::with_churn`]),
+//! * deadline-constrained arrivals of configurable [`JobShape`]s (chains,
+//!   fork-joins, migration pipelines), calibrated to a target offered
+//!   [`WorkloadConfig::load`].
+//!
+//! ```
+//! use rota_workload::{build_scenario, WorkloadConfig};
+//!
+//! let scenario = build_scenario(&WorkloadConfig::new(42).with_load(0.8));
+//! assert!(scenario.arrival_count() > 0);
+//! // identical seeds → identical scenarios
+//! let again = build_scenario(&WorkloadConfig::new(42).with_load(0.8));
+//! assert_eq!(scenario.arrival_count(), again.arrival_count());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod generate;
+
+pub use config::{JobShape, WorkloadConfig};
+pub use generate::{base_resources, build_scenario, generate_job, node};

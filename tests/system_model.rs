@@ -1,0 +1,129 @@
+//! End-to-end use of the paper's system model `M = (A, R, C, Φ)`: build
+//! M, derive requirements for its registered computations, and answer
+//! deadline questions with the theorems and the formula semantics.
+
+use rota::logic::{theorems, Formula, ModelChecker, SystemModel};
+use rota::prelude::*;
+
+fn iv(s: u64, e: u64) -> TimeInterval {
+    TimeInterval::from_ticks(s, e).unwrap()
+}
+
+fn build_model() -> SystemModel<TableCostModel> {
+    let mut m = SystemModel::new(TableCostModel::paper());
+    // R: two nodes and a link.
+    m.add_resource(ResourceTerm::new(
+        Rate::new(4),
+        iv(0, 32),
+        LocatedType::cpu(Location::new("l1")),
+    ));
+    m.add_resource(ResourceTerm::new(
+        Rate::new(4),
+        iv(0, 32),
+        LocatedType::cpu(Location::new("l2")),
+    ));
+    m.add_resource(ResourceTerm::new(
+        Rate::new(2),
+        iv(0, 32),
+        LocatedType::network(Location::new("l1"), Location::new("l2")),
+    ));
+    // C: two computations.
+    m.add_computation(
+        DistributedComputation::single(
+            "etl",
+            ActorComputation::new("etl-worker", "l1")
+                .then(ActionKind::evaluate())
+                .then(ActionKind::send("sink", "l2"))
+                .then(ActionKind::Ready),
+            TimePoint::ZERO,
+            TimePoint::new(16),
+        )
+        .unwrap(),
+    );
+    m.add_computation(
+        DistributedComputation::new(
+            "fanout",
+            vec![
+                ActorComputation::new("fan-a", "l1").then(ActionKind::evaluate()),
+                ActorComputation::new("fan-b", "l2").then(ActionKind::evaluate()),
+            ],
+            TimePoint::new(4),
+            TimePoint::new(24),
+        )
+        .unwrap(),
+    );
+    m
+}
+
+#[test]
+fn model_components_are_queryable() {
+    let m = build_model();
+    // A was populated from C's actors.
+    let actors: Vec<String> = m.actors().map(|a| a.to_string()).collect();
+    assert_eq!(actors, vec!["etl-worker", "fan-a", "fan-b"]);
+    assert_eq!(m.computations().len(), 2);
+    assert_eq!(m.resources().term_count(), 3);
+}
+
+#[test]
+fn every_registered_computation_is_admissible_in_sequence() {
+    let m = build_model();
+    let mut state = m.initial_state(TimePoint::ZERO);
+    for lambda in m.computations() {
+        let requirement = m.requirement_of(lambda);
+        // admit every actor of the computation via Theorem 4
+        for (gamma, part) in lambda.actors().iter().zip(requirement.parts()) {
+            let admission = theorems::accommodate_additional(&state, gamma.actor(), part)
+                .unwrap_or_else(|e| panic!("{} should fit: {e}", lambda.name()));
+            state = admission.into_state();
+        }
+    }
+    state.run_greedy(TimePoint::new(32));
+    assert!(state.rho().is_empty());
+    assert!(!state.any_late());
+}
+
+#[test]
+fn formulas_over_the_model_initial_state() {
+    let m = build_model();
+    let state = m.initial_state(TimePoint::ZERO);
+    let checker = ModelChecker::greedy(40);
+    // The etl requirement is satisfiable as a formula atom too.
+    let requirement = m.requirement_of(&m.computations()[0].clone());
+    let atom = Formula::SatisfyConcurrent(requirement);
+    assert!(checker.holds(&state, &atom));
+    assert!(checker.holds(&state, &atom.clone().eventually()));
+    // And an impossible demand is refuted through ¬ and □.
+    let impossible = Formula::SatisfySimple(SimpleRequirement::new(
+        ResourceDemand::single(LocatedType::cpu(Location::new("l1")), Quantity::new(1_000)),
+        iv(0, 32),
+    ));
+    assert!(checker.holds(&state, &impossible.clone().not().always()));
+}
+
+#[test]
+fn granularity_controls_requirement_shape() {
+    // A chain with an adjacent same-type pair: evaluate, evaluate, send.
+    let lambda = DistributedComputation::single(
+        "chain",
+        ActorComputation::new("c-worker", "l1")
+            .then(ActionKind::evaluate())
+            .then(ActionKind::evaluate())
+            .then(ActionKind::send("sink", "l2")),
+        TimePoint::ZERO,
+        TimePoint::new(16),
+    )
+    .unwrap();
+    let fine = build_model()
+        .with_granularity(Granularity::PerAction)
+        .requirement_of(&lambda);
+    assert_eq!(fine.segment_count(), 3, "per-action keeps all three");
+    let coarse = build_model().requirement_of(&lambda);
+    assert_eq!(
+        coarse.segment_count(),
+        2,
+        "maximal-run merges the two cpu evaluations into one segment"
+    );
+    // both price to the same totals
+    assert_eq!(fine.total_demand(), coarse.total_demand());
+}
