@@ -6,8 +6,10 @@ use core::fmt;
 use rota_actor::ActorName;
 use rota_interval::TimePoint;
 use rota_logic::{State, TransitionError};
+use rota_obs::DecisionEvent;
 use rota_resource::ResourceSet;
 
+use crate::obs::AdmissionObs;
 use crate::policy::{edf_assignments, AdmissionPolicy, Decision};
 use crate::request::AdmissionRequest;
 
@@ -106,6 +108,10 @@ pub struct AdmissionController<P> {
     // accounting (the State reaps completed commitments silently; a
     // request completes when all of its actors have).
     in_flight: Vec<(Vec<ActorName>, TimePoint)>,
+    obs: Option<AdmissionObs>,
+    // The most recent submit verdict, so `explain` works without an
+    // attached observability bundle.
+    last_decision: Option<DecisionEvent>,
 }
 
 impl<P: AdmissionPolicy> AdmissionController<P> {
@@ -118,6 +124,8 @@ impl<P: AdmissionPolicy> AdmissionController<P> {
             strategy: ExecutionStrategy::default(),
             stats: ControllerStats::default(),
             in_flight: Vec::new(),
+            obs: None,
+            last_decision: None,
         }
     }
 
@@ -126,6 +134,21 @@ impl<P: AdmissionPolicy> AdmissionController<P> {
     pub fn with_strategy(mut self, strategy: ExecutionStrategy) -> Self {
         self.strategy = strategy;
         self
+    }
+
+    /// Attaches an observability bundle: every submit updates the
+    /// per-policy counters and decide-latency histogram, every tick
+    /// counts the realized LTS rule, and every verdict lands in the
+    /// bundle's decision journal.
+    #[must_use]
+    pub fn with_obs(mut self, obs: AdmissionObs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The attached observability bundle, if any.
+    pub fn obs(&self) -> Option<&AdmissionObs> {
+        self.obs.as_ref()
     }
 
     /// The controller's current state.
@@ -160,7 +183,11 @@ impl<P: AdmissionPolicy> AdmissionController<P> {
     /// Submits a request; on acceptance the commitments are installed
     /// immediately.
     pub fn submit(&mut self, request: &AdmissionRequest) -> Decision {
+        let started = self.obs.as_ref().map(|_| std::time::Instant::now());
         let decision = self.policy.decide(&self.state, request);
+        if let (Some(obs), Some(t0)) = (&self.obs, started) {
+            obs.observe_decide_ns(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
         match &decision {
             Decision::Accept(commitments) => {
                 let actors: Vec<ActorName> =
@@ -177,7 +204,53 @@ impl<P: AdmissionPolicy> AdmissionController<P> {
                 self.stats.rejected += 1;
             }
         }
+        let event = self.decision_event(request, &decision);
+        if let Some(obs) = &self.obs {
+            obs.count_decision(decision.is_accept());
+            obs.set_in_flight(self.in_flight.len());
+            obs.record(event.clone());
+        }
+        self.last_decision = Some(event);
         decision
+    }
+
+    /// Packages a verdict as a journal event: accepted requests record
+    /// how many commitments were installed; rejections record the
+    /// failing clause and (when attributable) the violated resource term.
+    fn decision_event(&self, request: &AdmissionRequest, decision: &Decision) -> DecisionEvent {
+        let (accepted, reason, violated_term, clause) = match decision {
+            Decision::Accept(commitments) => (
+                true,
+                format!("{} commitment(s) scheduled", commitments.len()),
+                None,
+                None,
+            ),
+            Decision::Reject(reject) => (
+                false,
+                reject.to_string(),
+                reject.violated_term().map(str::to_string),
+                Some(reject.clause().to_string()),
+            ),
+        };
+        DecisionEvent::Admission {
+            time: self.now().ticks(),
+            policy: self.policy.name().to_string(),
+            computation: request.name().to_string(),
+            accepted,
+            reason,
+            violated_term,
+            clause,
+        }
+    }
+
+    /// Why recent requests were admitted or refused: the decision
+    /// journal's events when an [`AdmissionObs`] is attached, otherwise
+    /// just the most recent verdict.
+    pub fn explain(&self) -> Vec<DecisionEvent> {
+        match &self.obs {
+            Some(obs) => obs.journal().snapshot(),
+            None => self.last_decision.clone().into_iter().collect(),
+        }
     }
 
     /// Advances one tick, delivering resources per the execution strategy
@@ -187,9 +260,13 @@ impl<P: AdmissionPolicy> AdmissionController<P> {
             ExecutionStrategy::FirstEntitled => self.state.greedy_assignments(),
             ExecutionStrategy::EarliestDeadline => edf_assignments(&self.state),
         };
-        self.state
+        let label = self
+            .state
             .step(&assignments)
             .expect("entitled assignments are valid");
+        if let Some(obs) = &self.obs {
+            obs.count_transition(&label);
+        }
         self.settle();
     }
 
@@ -220,6 +297,9 @@ impl<P: AdmissionPolicy> AdmissionController<P> {
             }
         }
         self.in_flight = still;
+        if let Some(obs) = &self.obs {
+            obs.set_in_flight(self.in_flight.len());
+        }
     }
 
     /// Number of admitted computations still executing.
@@ -262,6 +342,9 @@ impl<P: AdmissionPolicy> AdmissionController<P> {
         }
         self.in_flight.remove(pos);
         self.stats.withdrawn += 1;
+        if let Some(obs) = &self.obs {
+            obs.set_in_flight(self.in_flight.len());
+        }
         true
     }
 }
@@ -396,6 +479,69 @@ mod tests {
         assert!(ctl.to_string().starts_with("controller[rota"));
         assert_eq!(ctl.policy().name(), "rota");
         assert_eq!(ctl.state().now(), TimePoint::ZERO);
+    }
+
+    #[test]
+    fn obs_counts_decisions_and_journals_rejections() {
+        let registry = rota_obs::Registry::new();
+        let mut ctl = AdmissionController::new(RotaPolicy, cpu_theta(4, 0, 8), TimePoint::ZERO)
+            .with_obs(AdmissionObs::new(&registry, "rota"));
+        for i in 0..8 {
+            let _ = ctl.submit(&request(&format!("job{i}"), 2, 0, 8));
+        }
+        ctl.run_until(TimePoint::new(8));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("admission.requests{policy=rota}"), Some(8));
+        assert_eq!(snap.counter("admission.accepted{policy=rota}"), Some(2));
+        assert_eq!(snap.counter("admission.rejected{policy=rota}"), Some(6));
+        assert_eq!(snap.gauge("admission.in_flight{policy=rota}"), Some(0));
+        let decide = snap.histogram("admission.decide_ns{policy=rota}").unwrap();
+        assert_eq!(decide.count, 8);
+        // Every tick fires exactly one LTS rule.
+        let fired: u64 = rota_logic::RuleKind::ALL
+            .iter()
+            .map(|k| {
+                snap.counter(&format!("admission.rule.{}{{policy=rota}}", k.name()))
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(fired, 8, "8 ticks → 8 rule firings");
+        // The journal explains each rejection with clause + violated term.
+        let events = ctl.explain();
+        assert_eq!(events.len(), 8);
+        let rejects: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, rota_obs::DecisionEvent::Admission { accepted: false, .. }))
+            .collect();
+        assert_eq!(rejects.len(), 6);
+        for event in rejects {
+            let rota_obs::DecisionEvent::Admission {
+                violated_term,
+                clause,
+                ..
+            } = event
+            else {
+                unreachable!()
+            };
+            assert!(clause.as_deref().unwrap().contains("Theorem 4"));
+            assert!(violated_term.as_deref().unwrap().contains("short by"));
+        }
+    }
+
+    #[test]
+    fn explain_without_obs_returns_last_decision() {
+        let mut ctl = AdmissionController::new(RotaPolicy, ResourceSet::new(), TimePoint::ZERO);
+        assert!(ctl.explain().is_empty(), "no decisions yet");
+        let _ = ctl.submit(&request("job", 1, 0, 10));
+        let events = ctl.explain();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            &events[0],
+            rota_obs::DecisionEvent::Admission {
+                accepted: false,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -24,10 +24,12 @@
 #![warn(missing_docs)]
 
 mod controller;
+pub mod obs;
 mod policy;
 mod request;
 
 pub use controller::{AdmissionController, ControllerStats, ExecutionStrategy};
+pub use obs::AdmissionObs;
 pub use policy::{
     edf_assignments, AdmissionPolicy, Decision, GreedyEdfPolicy, NaiveTotalPolicy,
     OptimisticPolicy, RejectReason, RotaPolicy,

@@ -1,0 +1,153 @@
+//! Observability for the admission layer: per-policy counters, a
+//! decide-latency histogram, execution-rule accounting, and a decision
+//! journal recording *why* each request was admitted or refused.
+//!
+//! Metric names (see `rota-obs` for the naming convention; `<p>` is the
+//! policy name, e.g. `rota`):
+//!
+//! | name | kind | meaning |
+//! |---|---|---|
+//! | `admission.requests{policy=<p>}` | counter | requests submitted |
+//! | `admission.accepted{policy=<p>}` | counter | requests admitted |
+//! | `admission.rejected{policy=<p>}` | counter | requests refused |
+//! | `admission.decide_ns{policy=<p>}` | histogram | wall time of one policy decision |
+//! | `admission.in_flight{policy=<p>}` | gauge | admitted computations still executing |
+//! | `admission.rule.<rule>{policy=<p>}` | counter | LTS rule firings realized by [`tick`](crate::AdmissionController::tick) |
+
+use std::sync::Arc;
+
+use rota_logic::{RuleKind, TransitionLabel};
+use rota_obs::{Counter, DecisionEvent, Gauge, Histogram, Journal, Registry};
+
+/// How many decision events the default journal retains.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 256;
+
+/// The admission controller's observability bundle. Construct with
+/// [`AdmissionObs::new`] against a shared [`Registry`] and attach via
+/// [`AdmissionController::with_obs`](crate::AdmissionController::with_obs).
+#[derive(Debug, Clone)]
+pub struct AdmissionObs {
+    requests: Arc<Counter>,
+    accepted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    decide_ns: Arc<Histogram>,
+    in_flight: Arc<Gauge>,
+    rules: [Arc<Counter>; 8],
+    journal: Arc<Journal<DecisionEvent>>,
+}
+
+impl AdmissionObs {
+    /// Wires the admission metrics for `policy` into `registry`, with a
+    /// fresh journal of [`DEFAULT_JOURNAL_CAPACITY`].
+    pub fn new(registry: &Registry, policy: &str) -> Self {
+        AdmissionObs {
+            requests: registry.counter(&format!("admission.requests{{policy={policy}}}")),
+            accepted: registry.counter(&format!("admission.accepted{{policy={policy}}}")),
+            rejected: registry.counter(&format!("admission.rejected{{policy={policy}}}")),
+            decide_ns: registry.histogram(
+                &format!("admission.decide_ns{{policy={policy}}}"),
+                Histogram::latency_ns_bounds(),
+            ),
+            in_flight: registry.gauge(&format!("admission.in_flight{{policy={policy}}}")),
+            rules: RuleKind::ALL
+                .map(|kind| {
+                    registry.counter(&format!("admission.rule.{}{{policy={policy}}}", kind.name()))
+                }),
+            journal: Arc::new(Journal::new(DEFAULT_JOURNAL_CAPACITY)),
+        }
+    }
+
+    /// Shares an external journal (e.g. one also fed by the simulator)
+    /// instead of the bundle's own.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Arc<Journal<DecisionEvent>>) -> Self {
+        self.journal = journal;
+        self
+    }
+
+    /// Counts one submitted request and its verdict.
+    pub fn count_decision(&self, accepted: bool) {
+        self.requests.inc();
+        if accepted {
+            self.accepted.inc();
+        } else {
+            self.rejected.inc();
+        }
+    }
+
+    /// Records the wall time of one policy decision.
+    pub fn observe_decide_ns(&self, nanos: u64) {
+        self.decide_ns.observe(nanos);
+    }
+
+    /// Tracks how many admitted computations are still executing.
+    pub fn set_in_flight(&self, n: usize) {
+        self.in_flight.set(n as i64);
+    }
+
+    /// Counts the LTS rule realized by an executed transition.
+    pub fn count_transition(&self, label: &TransitionLabel) {
+        self.rules[RuleKind::of(label) as usize].inc();
+    }
+
+    /// Records a decision event.
+    pub fn record(&self, event: DecisionEvent) {
+        self.journal.record(event);
+    }
+
+    /// The decision journal.
+    pub fn journal(&self) -> &Arc<Journal<DecisionEvent>> {
+        &self.journal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rota_actor::ActorName;
+
+    #[test]
+    fn metrics_are_per_policy() {
+        let registry = Registry::new();
+        let obs = AdmissionObs::new(&registry, "rota");
+        obs.count_decision(true);
+        obs.count_decision(false);
+        obs.count_decision(false);
+        obs.set_in_flight(1);
+        obs.observe_decide_ns(5_000);
+        obs.count_transition(&TransitionLabel::Accommodate {
+            actor: ActorName::new("a1"),
+        });
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("admission.requests{policy=rota}"), Some(3));
+        assert_eq!(snap.counter("admission.accepted{policy=rota}"), Some(1));
+        assert_eq!(snap.counter("admission.rejected{policy=rota}"), Some(2));
+        assert_eq!(snap.gauge("admission.in_flight{policy=rota}"), Some(1));
+        assert_eq!(
+            snap.counter("admission.rule.accommodation{policy=rota}"),
+            Some(1)
+        );
+        let h = snap
+            .histogram("admission.decide_ns{policy=rota}")
+            .expect("decide histogram registered");
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 5_000);
+    }
+
+    #[test]
+    fn journal_can_be_shared() {
+        let registry = Registry::new();
+        let shared = Arc::new(Journal::new(8));
+        let obs = AdmissionObs::new(&registry, "rota").with_journal(Arc::clone(&shared));
+        obs.record(DecisionEvent::Admission {
+            time: 0,
+            policy: "rota".into(),
+            computation: "j".into(),
+            accepted: true,
+            reason: "ok".into(),
+            violated_term: None,
+            clause: None,
+        });
+        assert_eq!(shared.len(), 1);
+    }
+}

@@ -47,12 +47,34 @@ pub enum RejectReason {
         actor_index: usize,
         /// Scheduler diagnostic.
         detail: String,
+        /// The resource term that fell short (`cpu@l1 short by 4`), when
+        /// the scheduler could attribute the failure to one.
+        violated_term: Option<String>,
     },
     /// Naive/EDF: the policy's own feasibility check failed.
     PolicyCheckFailed {
         /// Policy-specific explanation.
         detail: String,
     },
+}
+
+impl RejectReason {
+    /// The paper clause whose premise failed, for decision journals.
+    pub fn clause(&self) -> &'static str {
+        match self {
+            RejectReason::DeadlinePassed => "accommodation rule: guard t < d",
+            RejectReason::Infeasible { .. } => "Theorem 4: segment feasibility over Θ_expire",
+            RejectReason::PolicyCheckFailed { .. } => "policy feasibility check",
+        }
+    }
+
+    /// The violated resource term, when the rejection names one.
+    pub fn violated_term(&self) -> Option<&str> {
+        match self {
+            RejectReason::Infeasible { violated_term, .. } => violated_term.as_deref(),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for RejectReason {
@@ -62,6 +84,7 @@ impl fmt::Display for RejectReason {
             RejectReason::Infeasible {
                 actor_index,
                 detail,
+                ..
             } => write!(f, "actor #{actor_index} unschedulable: {detail}"),
             RejectReason::PolicyCheckFailed { detail } => f.write_str(detail),
         }
@@ -111,6 +134,9 @@ impl AdmissionPolicy for RotaPolicy {
             }
             Err((actor_index, err)) => Decision::Reject(RejectReason::Infeasible {
                 actor_index,
+                violated_term: err
+                    .located()
+                    .map(|lt| format!("{lt} short by {}", err.shortfall())),
                 detail: err.to_string(),
             }),
         }
@@ -325,9 +351,16 @@ mod tests {
         let state = State::new(theta(1, 0, 4), TimePoint::ZERO);
         let decision = RotaPolicy.decide(&state, &eval_request("r", 2, 0, 4));
         match decision {
-            Decision::Reject(RejectReason::Infeasible { actor_index, detail }) => {
+            Decision::Reject(RejectReason::Infeasible {
+                actor_index,
+                detail,
+                violated_term,
+            }) => {
                 assert_eq!(actor_index, 0);
                 assert!(detail.contains("segment"));
+                let term = violated_term.expect("shortfall names a located type");
+                assert!(term.contains("cpu"), "term names the resource: {term}");
+                assert!(term.contains("short by"), "term names the shortfall: {term}");
             }
             other => panic!("expected infeasible, got {other:?}"),
         }
@@ -524,12 +557,16 @@ mod tests {
             RejectReason::DeadlinePassed.to_string(),
             "deadline has already passed"
         );
-        assert!(RejectReason::Infeasible {
+        let infeasible = RejectReason::Infeasible {
             actor_index: 1,
-            detail: "x".into()
-        }
-        .to_string()
-        .contains("actor #1"));
+            detail: "x".into(),
+            violated_term: Some("cpu@l1 short by 2".into()),
+        };
+        assert!(infeasible.to_string().contains("actor #1"));
+        assert_eq!(infeasible.violated_term(), Some("cpu@l1 short by 2"));
+        assert!(infeasible.clause().contains("Theorem 4"));
+        assert_eq!(RejectReason::DeadlinePassed.violated_term(), None);
+        assert!(RejectReason::DeadlinePassed.clause().contains("t < d"));
         assert_eq!(
             RejectReason::PolicyCheckFailed { detail: "d".into() }.to_string(),
             "d"

@@ -1,15 +1,19 @@
 //! E4 — Theorem-4 incremental admission: decision latency vs the number
-//! of computations already committed.
+//! of computations already committed — plus the observability overhead
+//! check: the same accept path with and without a metrics registry
+//! attached (target: <5% overhead; see EXPERIMENTS.md).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rota_actor::{
     ActionKind, ActorComputation, DistributedComputation, Granularity, TableCostModel,
 };
 use rota_admission::{
-    AdmissionPolicy, AdmissionRequest, GreedyEdfPolicy, NaiveTotalPolicy, RotaPolicy,
+    AdmissionController, AdmissionObs, AdmissionPolicy, AdmissionRequest, GreedyEdfPolicy,
+    NaiveTotalPolicy, RotaPolicy,
 };
 use rota_interval::TimePoint;
 use rota_logic::State;
+use rota_obs::Registry;
 use rota_resource::{LocatedType, Location, Rate, ResourceSet, ResourceTerm};
 
 const HORIZON: u64 = 4_096;
@@ -80,5 +84,75 @@ fn bench_edf_simulation_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_admission_vs_committed, bench_edf_simulation_cost);
+/// A controller with `n` computations already committed across 8 nodes.
+fn committed_controller(n: usize, obs: Option<AdmissionObs>) -> AdmissionController<RotaPolicy> {
+    let window = rota_interval::TimeInterval::from_ticks(0, HORIZON).expect("valid");
+    let theta = ResourceSet::from_terms((0..8).map(|i| {
+        ResourceTerm::new(
+            Rate::new(4),
+            window,
+            LocatedType::cpu(Location::new(format!("l{i}"))),
+        )
+    }))
+    .expect("bounded rates");
+    let mut ctl = AdmissionController::new(RotaPolicy, theta, TimePoint::ZERO);
+    if let Some(obs) = obs {
+        ctl = ctl.with_obs(obs);
+    }
+    for k in 0..n {
+        let _ = ctl.submit(&request(&format!("pre{k}"), k % 8, HORIZON));
+    }
+    ctl
+}
+
+/// A request whose window starts in the future, so an accepted
+/// submission can be withdrawn via the leave rule (guard `t < s`) —
+/// letting the bench exercise the accept path repeatedly without the
+/// controller's state drifting.
+fn future_request(name: &str, node: usize, deadline: u64) -> AdmissionRequest {
+    let gamma = ActorComputation::new(format!("{name}-actor"), format!("l{node}"))
+        .then(ActionKind::evaluate())
+        .then(ActionKind::evaluate());
+    AdmissionRequest::price(
+        DistributedComputation::single(name, gamma, TimePoint::new(1), TimePoint::new(deadline))
+            .expect("deadline > start"),
+        &TableCostModel::paper(),
+        Granularity::MaximalRun,
+    )
+}
+
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/admission_overhead");
+    group.sample_size(40);
+    for &n in &[8usize, 128] {
+        let probe = future_request("probe", 3, HORIZON);
+        let actors = probe.actor_names();
+        let mut plain = committed_controller(n, None);
+        group.bench_with_input(BenchmarkId::new("disabled", n), &n, |b, _| {
+            b.iter(|| {
+                let accepted = plain.submit(&probe).is_accept();
+                assert!(plain.cancel(&actors), "future start withdraws cleanly");
+                black_box(accepted)
+            })
+        });
+        let registry = Registry::new();
+        let mut observed =
+            committed_controller(n, Some(AdmissionObs::new(&registry, "rota")));
+        group.bench_with_input(BenchmarkId::new("enabled", n), &n, |b, _| {
+            b.iter(|| {
+                let accepted = observed.submit(&probe).is_accept();
+                assert!(observed.cancel(&actors), "future start withdraws cleanly");
+                black_box(accepted)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_admission_vs_committed,
+    bench_edf_simulation_cost,
+    bench_metrics_overhead
+);
 criterion_main!(benches);

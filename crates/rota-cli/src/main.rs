@@ -6,12 +6,16 @@
 //!               [--shape chain|forkjoin|pipeline|mixed]
 //!               [--policy rota|naive|optimistic|edf] [--churn P]
 //! rota compare  [--seed N] [--load X] [--nodes N] [--horizon T] [--shape …]
+//! rota stats    [--json] [--out <path>]
 //! ```
 //!
 //! `check` reads a JSON system+computation spec (see `rota_cli::spec`)
 //! and prints the admission verdict with the schedule ROTA would pin the
 //! computation to. `simulate` and `compare` run seeded synthetic open
-//! -system workloads.
+//! -system workloads. `stats` runs an instrumented demo (admission under
+//! overload plus one model-check) and dumps the metrics registry and the
+//! decision journal. Every subcommand accepts `--metrics-out <path>` to
+//! write its run's metric snapshot and decisions as JSON.
 
 mod formula;
 mod spec;
@@ -20,12 +24,13 @@ use std::process::ExitCode;
 
 use rota_actor::Granularity;
 use rota_admission::{
-    AdmissionPolicy, AdmissionRequest, Decision, GreedyEdfPolicy, NaiveTotalPolicy,
-    OptimisticPolicy, RotaPolicy,
+    AdmissionController, AdmissionObs, AdmissionPolicy, AdmissionRequest, Decision,
+    GreedyEdfPolicy, NaiveTotalPolicy, OptimisticPolicy, RotaPolicy,
 };
 use rota_interval::TimePoint;
 use rota_logic::State;
-use rota_sim::{compare_policies, run_scenario_traced};
+use rota_obs::{DecisionEvent, Json, Registry};
+use rota_sim::{run_scenario_observed, run_scenario_traced_observed};
 use rota_workload::{build_scenario, JobShape, WorkloadConfig};
 
 use spec::CheckSpec;
@@ -37,6 +42,7 @@ fn main() -> ExitCode {
         Some("holds") => cmd_holds(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..], false),
         Some("compare") => cmd_simulate(&args[1..], true),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -60,6 +66,10 @@ fn print_usage() {
     eprintln!("  rota compare  [same options as simulate, runs all policies]");
     eprintln!("  rota holds <spec.json> --formula \"<formula>\" [--depth N]");
     eprintln!("  rota holds --resources \"[4]^(0,20)_cpu@l1; …\" --formula \"…\"");
+    eprintln!("  rota stats    [--json] [--out <path>]");
+    eprintln!();
+    eprintln!("Every subcommand also accepts --metrics-out <path> to dump its");
+    eprintln!("metric snapshot and decision journal as JSON.");
     eprintln!();
     eprintln!("FORMULAS (rota holds):");
     eprintln!("  satisfy(cpu@l1:8 in 0..10)    eventually …    always …    not …");
@@ -71,6 +81,37 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Packages a registry snapshot plus decision journal as one JSON value:
+/// `{"metrics": {...}, "decisions": [...]}`.
+fn observability_json(registry: &Registry, decisions: &[DecisionEvent]) -> Json {
+    Json::Obj(vec![
+        ("metrics".to_string(), registry.snapshot().to_json()),
+        (
+            "decisions".to_string(),
+            Json::Arr(decisions.iter().map(DecisionEvent::to_json).collect()),
+        ),
+    ])
+}
+
+/// Honors `--metrics-out <path>`: writes the run's observability JSON.
+/// Returns `false` (printing an error) when the write fails.
+fn write_metrics_out(args: &[String], registry: &Registry, decisions: &[DecisionEvent]) -> bool {
+    let Some(path) = flag(args, "--metrics-out") else {
+        return true;
+    };
+    let payload = observability_json(registry, decisions).pretty();
+    match std::fs::write(&path, payload + "\n") {
+        Ok(()) => {
+            eprintln!("(metrics written to {path})");
+            true
+        }
+        Err(e) => {
+            eprintln!("cannot write metrics to {path}: {e}");
+            false
+        }
+    }
 }
 
 fn cmd_check(args: &[String]) -> ExitCode {
@@ -115,25 +156,37 @@ fn cmd_check(args: &[String]) -> ExitCode {
         granularity,
     );
     println!("requirement  : {}", request.requirement());
-    let state = State::new(theta, TimePoint::ZERO);
-    match RotaPolicy.decide(&state, &request) {
+    // Decide through an instrumented controller so --metrics-out captures
+    // the decision counters and the journal's explanation.
+    let registry = Registry::new();
+    let mut ctl = AdmissionController::new(RotaPolicy, theta, TimePoint::ZERO)
+        .with_obs(AdmissionObs::new(&registry, RotaPolicy.name()));
+    let decision = ctl.submit(&request);
+    let code = match &decision {
         Decision::Accept(commitments) => {
             println!("verdict      : ADMISSIBLE — the deadline is assured");
-            for c in &commitments {
+            for c in commitments {
                 println!("  actor {}", c.actor());
                 for seg in c.pending() {
                     println!("    {}", seg.requirement());
                 }
             }
             println!();
-            print_gantt(&commitments, request.window());
+            print_gantt(commitments, request.window());
             ExitCode::SUCCESS
         }
         Decision::Reject(reason) => {
             println!("verdict      : INFEASIBLE — {reason}");
+            if let Some(term) = reason.violated_term() {
+                println!("violated     : {term} ({})", reason.clause());
+            }
             ExitCode::from(2)
         }
+    };
+    if !write_metrics_out(args, &registry, &ctl.explain()) {
+        return ExitCode::FAILURE;
     }
+    code
 }
 
 /// Renders the pinned schedule as a per-actor text timeline: digits mark
@@ -252,9 +305,28 @@ fn cmd_holds(args: &[String]) -> ExitCode {
         }
     }
     println!("formula : {formula}");
-    let checker = rota_logic::ModelChecker::greedy(depth);
-    let verdict = checker.holds(&state, &formula);
+    let registry = Registry::new();
+    let journal = std::sync::Arc::new(rota_obs::Journal::new(16));
+    let checker = rota_logic::ModelChecker::greedy(depth).with_obs(
+        rota_logic::CheckObs::new(&registry).with_journal(std::sync::Arc::clone(&journal)),
+    );
+    let verdict = checker.check(&state, &formula);
     println!("verdict : {}", if verdict { "HOLDS" } else { "DOES NOT HOLD" });
+    let decisions = journal.snapshot();
+    if let Some(DecisionEvent::ModelCheck {
+        falsifying_prefix, ..
+    }) = decisions.last()
+    {
+        if !falsifying_prefix.is_empty() {
+            println!("falsified after:");
+            for (i, step) in falsifying_prefix.iter().enumerate() {
+                println!("  {i:>3}. {step}");
+            }
+        }
+    }
+    if !write_metrics_out(args, &registry, &decisions) {
+        return ExitCode::FAILURE;
+    }
     if verdict {
         ExitCode::SUCCESS
     } else {
@@ -304,12 +376,14 @@ fn cmd_simulate(args: &[String], compare: bool) -> ExitCode {
         "scenario: seed {seed}, load {load}, {nodes} nodes, horizon {horizon}, {} arrivals",
         scenario.arrival_count()
     );
+    let registry = Registry::new();
     if compare {
         println!(
             "{:<12} {:>8} {:>8} {:>10} {:>7} {:>12}",
             "policy", "accept%", "miss%", "completed", "util%", "delivered"
         );
-        for (name, report) in compare_policies(&scenario) {
+        let mut decisions = Vec::new();
+        for (name, report) in compare_policies_observed(&scenario, &registry) {
             println!(
                 "{:<12} {:>7.1}% {:>7.1}% {:>10} {:>6.1}% {:>12}",
                 name,
@@ -319,31 +393,39 @@ fn cmd_simulate(args: &[String], compare: bool) -> ExitCode {
                 report.utilization() * 100.0,
                 report.delivered_units
             );
+            decisions.extend(report.decisions);
+        }
+        if !write_metrics_out(args, &registry, &decisions) {
+            return ExitCode::FAILURE;
         }
         return ExitCode::SUCCESS;
     }
     let policy = flag(args, "--policy").unwrap_or_else(|| "rota".into());
     let traced = args.iter().any(|a| a == "--trace");
     let (report, trace) = match policy.as_str() {
-        "rota" => run_scenario_traced(
+        "rota" => run_scenario_traced_observed(
             &scenario,
             RotaPolicy,
             rota_admission::ExecutionStrategy::FirstEntitled,
+            &registry,
         ),
-        "naive" => run_scenario_traced(
+        "naive" => run_scenario_traced_observed(
             &scenario,
             NaiveTotalPolicy,
             rota_admission::ExecutionStrategy::EarliestDeadline,
+            &registry,
         ),
-        "optimistic" => run_scenario_traced(
+        "optimistic" => run_scenario_traced_observed(
             &scenario,
             OptimisticPolicy,
             rota_admission::ExecutionStrategy::EarliestDeadline,
+            &registry,
         ),
-        "edf" => run_scenario_traced(
+        "edf" => run_scenario_traced_observed(
             &scenario,
             GreedyEdfPolicy,
             rota_admission::ExecutionStrategy::EarliestDeadline,
+            &registry,
         ),
         other => {
             eprintln!("simulate: unknown policy `{other}`");
@@ -365,6 +447,137 @@ fn cmd_simulate(args: &[String], compare: bool) -> ExitCode {
             trace.peak_in_flight(),
             trace.throughput().into_iter().max().unwrap_or(0)
         );
+    }
+    if !write_metrics_out(args, &registry, &report.decisions) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// [`compare_policies`] with every run counting into one registry (the
+/// per-policy metric labels keep them apart).
+fn compare_policies_observed(
+    scenario: &rota_sim::Scenario,
+    registry: &Registry,
+) -> Vec<(&'static str, rota_sim::SimulationReport)> {
+    use rota_admission::ExecutionStrategy;
+    vec![
+        (
+            "rota",
+            run_scenario_observed(scenario, RotaPolicy, ExecutionStrategy::FirstEntitled, registry),
+        ),
+        (
+            "greedy-edf",
+            run_scenario_observed(
+                scenario,
+                GreedyEdfPolicy,
+                ExecutionStrategy::EarliestDeadline,
+                registry,
+            ),
+        ),
+        (
+            "naive-total",
+            run_scenario_observed(
+                scenario,
+                NaiveTotalPolicy,
+                ExecutionStrategy::EarliestDeadline,
+                registry,
+            ),
+        ),
+        (
+            "optimistic",
+            run_scenario_observed(
+                scenario,
+                OptimisticPolicy,
+                ExecutionStrategy::EarliestDeadline,
+                registry,
+            ),
+        ),
+    ]
+}
+
+/// `rota stats`: run a small fully-instrumented demo — an overloaded
+/// admission scenario (2 of 8 requests fit) plus one bounded model-check
+/// — and dump the resulting metric snapshot and decision journal.
+fn cmd_stats(args: &[String]) -> ExitCode {
+    use rota_actor::{ActionKind, ActorComputation, DistributedComputation, TableCostModel};
+    use rota_resource::{LocatedType, Location, Rate, ResourceSet, ResourceTerm};
+
+    let registry = Registry::new();
+
+    // Admission under overload: 32 cpu-units of capacity, 8 jobs of 16
+    // units each → 2 admitted, 6 rejected with the violated term named.
+    let theta: ResourceSet = [ResourceTerm::new(
+        Rate::new(4),
+        rota_interval::TimeInterval::from_ticks(0, 8).expect("static interval"),
+        LocatedType::cpu(Location::new("l1")),
+    )]
+    .into_iter()
+    .collect();
+    let mut scenario = rota_sim::Scenario::new(TimePoint::new(8)).with_initial(theta.clone());
+    for i in 0..8 {
+        let mut gamma = ActorComputation::new(format!("job{i}-actor"), "l1");
+        for _ in 0..2 {
+            gamma.push(ActionKind::evaluate());
+        }
+        let request = AdmissionRequest::price(
+            DistributedComputation::single(
+                format!("job{i}"),
+                gamma,
+                TimePoint::ZERO,
+                TimePoint::new(8),
+            )
+            .expect("static computation"),
+            &TableCostModel::paper(),
+            Granularity::MaximalRun,
+        );
+        scenario.add_arrival(TimePoint::ZERO, request);
+    }
+    let report = run_scenario_observed(
+        &scenario,
+        RotaPolicy,
+        rota_admission::ExecutionStrategy::FirstEntitled,
+        &registry,
+    );
+    let mut decisions = report.decisions;
+
+    // One model-check run, so LTS rule-firing counts appear: the demand
+    // that was admissible must be deliverable on every path.
+    let journal = std::sync::Arc::new(rota_obs::Journal::new(16));
+    let checker = rota_logic::ModelChecker::greedy(16).with_obs(
+        rota_logic::CheckObs::new(&registry).with_journal(std::sync::Arc::clone(&journal)),
+    );
+    let formula = formula::parse_formula("always satisfy(cpu@l1:4 in 0..8)")
+        .expect("static demo formula");
+    let state = State::new(theta, TimePoint::ZERO);
+    let _ = checker.check(&state, &formula);
+    decisions.extend(journal.snapshot());
+
+    let json = args.iter().any(|a| a == "--json");
+    let rendered = if json {
+        observability_json(&registry, &decisions).pretty() + "\n"
+    } else {
+        let mut out = registry.snapshot().render_table();
+        out.push_str("\ndecisions:\n");
+        for event in &decisions {
+            out.push_str("  ");
+            out.push_str(&event.summary());
+            out.push('\n');
+        }
+        out
+    };
+    match flag(args, "--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &rendered) {
+                eprintln!("stats: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("(stats written to {path})");
+        }
+        None => print!("{rendered}"),
+    }
+    if !write_metrics_out(args, &registry, &decisions) {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -1,5 +1,11 @@
 //! The JSON specification format for the CLI — the serialization
-//! boundary between files on disk and the (serde-free) library types.
+//! boundary between files on disk and the library types.
+//!
+//! Decoding is hand-rolled over [`rota_obs::Json`] (the build is
+//! offline, so there is no serde; see `shims/README.md`). The decoder
+//! is strict like a `deny_unknown_fields` serde derive: unknown or
+//! duplicate keys, missing fields, and wrong types are all
+//! [`SpecError::Parse`] errors naming the offending field.
 //!
 //! A spec file describes a system's resource terms and one
 //! deadline-constrained computation:
@@ -28,15 +34,13 @@
 //! }
 //! ```
 
-use serde::Deserialize;
-
 use rota_actor::{ActionKind, ActorComputation, DistributedComputation};
 use rota_interval::{TimeInterval, TimePoint};
+use rota_obs::Json;
 use rota_resource::{LocatedType, Location, Quantity, Rate, ResourceSet, ResourceTerm};
 
 /// A resource term in the spec file.
-#[derive(Debug, Clone, Deserialize)]
-#[serde(tag = "kind", rename_all = "lowercase", deny_unknown_fields)]
+#[derive(Debug, Clone)]
 pub enum ResourceSpec {
     /// `⟨cpu, location⟩` at `rate` over `[start, end)`.
     Cpu {
@@ -76,13 +80,11 @@ pub enum ResourceSpec {
 }
 
 /// An action in the spec file.
-#[derive(Debug, Clone, Deserialize)]
-#[serde(tag = "do", rename_all = "lowercase", deny_unknown_fields)]
+#[derive(Debug, Clone)]
 pub enum ActionSpec {
     /// `evaluate(e)`; optional explicit `work` CPU units.
     Evaluate {
         /// Optional explicit CPU amount.
-        #[serde(default)]
         work: Option<u64>,
     },
     /// `send(to, m)` where `to` resides at `dest`.
@@ -92,7 +94,6 @@ pub enum ActionSpec {
         /// Recipient's location.
         dest: String,
         /// Message size factor (default 1).
-        #[serde(default = "default_size")]
         size: u64,
     },
     /// `create(child)`.
@@ -109,13 +110,8 @@ pub enum ActionSpec {
     },
 }
 
-fn default_size() -> u64 {
-    1
-}
-
 /// One actor's computation in the spec file.
-#[derive(Debug, Clone, Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug, Clone)]
 pub struct ActorSpec {
     /// Actor name (globally unique).
     pub name: String,
@@ -126,8 +122,7 @@ pub struct ActorSpec {
 }
 
 /// The computation `(Λ, s, d)` in the spec file.
-#[derive(Debug, Clone, Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug, Clone)]
 pub struct ComputationSpec {
     /// Identifying name.
     pub name: String,
@@ -140,8 +135,7 @@ pub struct ComputationSpec {
 }
 
 /// A whole check-spec file.
-#[derive(Debug, Clone, Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug, Clone)]
 pub struct CheckSpec {
     /// The system's resource terms.
     pub resources: Vec<ResourceSpec>,
@@ -153,7 +147,7 @@ pub struct CheckSpec {
 #[derive(Debug)]
 pub enum SpecError {
     /// JSON syntax or schema problem.
-    Parse(serde_json::Error),
+    Parse(String),
     /// Semantically invalid content (empty interval, bad window, …).
     Invalid(String),
 }
@@ -169,10 +163,199 @@ impl std::fmt::Display for SpecError {
 
 impl std::error::Error for SpecError {}
 
-impl From<serde_json::Error> for SpecError {
-    fn from(e: serde_json::Error) -> Self {
-        SpecError::Parse(e)
+/// A decoded JSON object, checked field-by-field so unknown and
+/// duplicate keys are rejected like serde's `deny_unknown_fields`.
+struct Fields<'a> {
+    ctx: &'a str,
+    pairs: &'a [(String, Json)],
+}
+
+impl<'a> Fields<'a> {
+    fn of(value: &'a Json, ctx: &'a str) -> Result<Self, SpecError> {
+        let pairs = value
+            .as_object()
+            .ok_or_else(|| SpecError::Parse(format!("{ctx}: expected an object")))?;
+        for (i, (key, _)) in pairs.iter().enumerate() {
+            if pairs[..i].iter().any(|(k, _)| k == key) {
+                return Err(SpecError::Parse(format!("{ctx}: duplicate field `{key}`")));
+            }
+        }
+        Ok(Fields { ctx, pairs })
     }
+
+    fn deny_unknown(&self, allowed: &[&str]) -> Result<(), SpecError> {
+        for (key, _) in self.pairs {
+            if !allowed.contains(&key.as_str()) {
+                return Err(SpecError::Parse(format!(
+                    "{}: unknown field `{key}`, expected one of {allowed:?}",
+                    self.ctx
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn required(&self, key: &str) -> Result<&'a Json, SpecError> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| SpecError::Parse(format!("{}: missing field `{key}`", self.ctx)))
+    }
+
+    fn optional(&self, key: &str) -> Option<&'a Json> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn str(&self, key: &str) -> Result<String, SpecError> {
+        self.required(key)?
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| SpecError::Parse(format!("{}: field `{key}` must be a string", self.ctx)))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, SpecError> {
+        self.required(key)?.as_u64().ok_or_else(|| {
+            SpecError::Parse(format!(
+                "{}: field `{key}` must be a non-negative integer",
+                self.ctx
+            ))
+        })
+    }
+
+    fn u64_opt(&self, key: &str) -> Result<Option<u64>, SpecError> {
+        match self.optional(key) {
+            None => Ok(None),
+            Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+                SpecError::Parse(format!(
+                    "{}: field `{key}` must be a non-negative integer",
+                    self.ctx
+                ))
+            }),
+        }
+    }
+
+    fn array(&self, key: &str) -> Result<&'a [Json], SpecError> {
+        self.required(key)?.as_array().ok_or_else(|| {
+            SpecError::Parse(format!("{}: field `{key}` must be an array", self.ctx))
+        })
+    }
+}
+
+fn decode_resource(value: &Json, index: usize) -> Result<ResourceSpec, SpecError> {
+    let ctx = format!("resources[{index}]");
+    let fields = Fields::of(value, &ctx)?;
+    let kind = fields.str("kind")?;
+    match kind.as_str() {
+        "cpu" | "memory" => {
+            fields.deny_unknown(&["kind", "location", "rate", "start", "end"])?;
+            let location = fields.str("location")?;
+            let (rate, start, end) = (fields.u64("rate")?, fields.u64("start")?, fields.u64("end")?);
+            Ok(if kind == "cpu" {
+                ResourceSpec::Cpu {
+                    location,
+                    rate,
+                    start,
+                    end,
+                }
+            } else {
+                ResourceSpec::Memory {
+                    location,
+                    rate,
+                    start,
+                    end,
+                }
+            })
+        }
+        "network" => {
+            fields.deny_unknown(&["kind", "from", "to", "rate", "start", "end"])?;
+            Ok(ResourceSpec::Network {
+                from: fields.str("from")?,
+                to: fields.str("to")?,
+                rate: fields.u64("rate")?,
+                start: fields.u64("start")?,
+                end: fields.u64("end")?,
+            })
+        }
+        other => Err(SpecError::Parse(format!(
+            "{ctx}: unknown resource kind `{other}`, expected `cpu`, `memory`, or `network`"
+        ))),
+    }
+}
+
+fn decode_action(value: &Json, actor: &str, index: usize) -> Result<ActionSpec, SpecError> {
+    let ctx = format!("actor `{actor}` actions[{index}]");
+    let fields = Fields::of(value, &ctx)?;
+    let verb = fields.str("do")?;
+    match verb.as_str() {
+        "evaluate" => {
+            fields.deny_unknown(&["do", "work"])?;
+            Ok(ActionSpec::Evaluate {
+                work: fields.u64_opt("work")?,
+            })
+        }
+        "send" => {
+            fields.deny_unknown(&["do", "to", "dest", "size"])?;
+            Ok(ActionSpec::Send {
+                to: fields.str("to")?,
+                dest: fields.str("dest")?,
+                size: fields.u64_opt("size")?.unwrap_or(1),
+            })
+        }
+        "create" => {
+            fields.deny_unknown(&["do", "child"])?;
+            Ok(ActionSpec::Create {
+                child: fields.str("child")?,
+            })
+        }
+        "ready" => {
+            fields.deny_unknown(&["do"])?;
+            Ok(ActionSpec::Ready)
+        }
+        "migrate" => {
+            fields.deny_unknown(&["do", "dest"])?;
+            Ok(ActionSpec::Migrate {
+                dest: fields.str("dest")?,
+            })
+        }
+        other => Err(SpecError::Parse(format!(
+            "{ctx}: unknown action `{other}`, expected `evaluate`, `send`, `create`, `ready`, or `migrate`"
+        ))),
+    }
+}
+
+fn decode_actor(value: &Json, index: usize) -> Result<ActorSpec, SpecError> {
+    let ctx = format!("actors[{index}]");
+    let fields = Fields::of(value, &ctx)?;
+    fields.deny_unknown(&["name", "origin", "actions"])?;
+    let name = fields.str("name")?;
+    let actions = fields
+        .array("actions")?
+        .iter()
+        .enumerate()
+        .map(|(i, a)| decode_action(a, &name, i))
+        .collect::<Result<_, _>>()?;
+    Ok(ActorSpec {
+        origin: fields.str("origin")?,
+        actions,
+        name,
+    })
+}
+
+fn decode_computation(value: &Json) -> Result<ComputationSpec, SpecError> {
+    let fields = Fields::of(value, "computation")?;
+    fields.deny_unknown(&["name", "start", "deadline", "actors"])?;
+    Ok(ComputationSpec {
+        name: fields.str("name")?,
+        start: fields.u64("start")?,
+        deadline: fields.u64("deadline")?,
+        actors: fields
+            .array("actors")?
+            .iter()
+            .enumerate()
+            .map(|(i, a)| decode_actor(a, i))
+            .collect::<Result<_, _>>()?,
+    })
 }
 
 impl CheckSpec {
@@ -180,9 +363,21 @@ impl CheckSpec {
     ///
     /// # Errors
     ///
-    /// [`SpecError::Parse`] on malformed JSON or unknown fields.
+    /// [`SpecError::Parse`] on malformed JSON, unknown fields, missing
+    /// fields, or wrong value types.
     pub fn from_json(text: &str) -> Result<Self, SpecError> {
-        Ok(serde_json::from_str(text)?)
+        let doc = Json::parse(text).map_err(|e| SpecError::Parse(e.to_string()))?;
+        let fields = Fields::of(&doc, "spec")?;
+        fields.deny_unknown(&["resources", "computation"])?;
+        Ok(CheckSpec {
+            resources: fields
+                .array("resources")?
+                .iter()
+                .enumerate()
+                .map(|(i, r)| decode_resource(r, i))
+                .collect::<Result<_, _>>()?,
+            computation: decode_computation(fields.required("computation")?)?,
+        })
     }
 
     /// Converts the resource list into a library [`ResourceSet`].
@@ -326,6 +521,26 @@ mod tests {
             CheckSpec::from_json(bad),
             Err(SpecError::Parse(_))
         ));
+    }
+
+    #[test]
+    fn rejects_missing_and_mistyped_fields() {
+        let missing = r#"{ "resources": [ { "kind": "cpu", "location": "l1", "rate": 1, "start": 0 } ],
+             "computation": { "name": "x", "start": 0, "deadline": 1, "actors": [] } }"#;
+        let err = CheckSpec::from_json(missing).unwrap_err();
+        assert!(err.to_string().contains("missing field `end`"), "{err}");
+
+        let mistyped = r#"{ "resources": [],
+             "computation": { "name": "x", "start": -1, "deadline": 1, "actors": [] } }"#;
+        assert!(matches!(
+            CheckSpec::from_json(mistyped),
+            Err(SpecError::Parse(_))
+        ));
+
+        let duplicate = r#"{ "resources": [], "resources": [],
+             "computation": { "name": "x", "start": 0, "deadline": 1, "actors": [] } }"#;
+        let err = CheckSpec::from_json(duplicate).unwrap_err();
+        assert!(err.to_string().contains("duplicate field"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Integration tests for the observability surface: `rota-cli stats`
+//! and `--metrics-out` must emit a JSON snapshot containing per-policy
+//! admission counters, LTS rule-firing counts from a model-check run,
+//! and at least one rejection `DecisionEvent` naming the violated
+//! resource term.
+
+use std::process::Command;
+
+use rota_obs::Json;
+
+fn run_cli(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rota-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn counter(metrics: &Json, name: &str) -> u64 {
+    metrics
+        .get(name)
+        .and_then(|m| m.get("value"))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("metric {name} missing from snapshot"))
+}
+
+#[test]
+fn stats_json_covers_the_acceptance_criteria() {
+    let (stdout, _, ok) = run_cli(&["stats", "--json"]);
+    assert!(ok, "stats exits zero");
+    let doc = Json::parse(&stdout).expect("stats --json emits valid JSON");
+    let metrics = doc.get("metrics").expect("snapshot present");
+
+    // Per-policy admission accept/reject counters.
+    assert_eq!(counter(metrics, "admission.requests{policy=rota}"), 8);
+    assert_eq!(counter(metrics, "admission.accepted{policy=rota}"), 2);
+    assert_eq!(counter(metrics, "admission.rejected{policy=rota}"), 6);
+
+    // LTS rule-firing counts from one model-checking run: the demo
+    // checks an uncommitted system, so expiration steps dominate.
+    let rule_total: u64 = [
+        "sequential",
+        "concurrent",
+        "expiration",
+        "concurrent_expiration",
+        "general",
+        "acquisition",
+        "accommodation",
+        "leave",
+    ]
+    .iter()
+    .map(|rule| counter(metrics, &format!("logic.rule.{rule}")))
+    .sum();
+    assert!(rule_total > 0, "model check fired LTS rules");
+    assert!(counter(metrics, "logic.states_visited") > 0);
+
+    // ≥1 DecisionEvent with the violated resource term for a rejection.
+    let decisions = doc
+        .get("decisions")
+        .and_then(Json::as_array)
+        .expect("decisions present");
+    assert!(!decisions.is_empty());
+    let violated: Vec<&Json> = decisions
+        .iter()
+        .filter(|d| {
+            d.get("accepted").and_then(Json::as_bool) == Some(false)
+                && d.get("violated_term").and_then(Json::as_str).is_some()
+        })
+        .collect();
+    assert!(
+        !violated.is_empty(),
+        "a rejected admission names its violated term"
+    );
+    let term = violated[0]
+        .get("violated_term")
+        .and_then(Json::as_str)
+        .unwrap();
+    assert!(term.contains("cpu"), "term names the resource: {term}");
+    assert!(term.contains("short by"), "term names the shortfall: {term}");
+    let clause = violated[0].get("clause").and_then(Json::as_str).unwrap();
+    assert!(clause.contains("Theorem 4"), "clause cites the theorem");
+}
+
+#[test]
+fn stats_table_lists_metrics_and_decisions() {
+    let (stdout, _, ok) = run_cli(&["stats"]);
+    assert!(ok);
+    assert!(stdout.contains("admission.accepted{policy=rota}"));
+    assert!(stdout.contains("logic.states_visited"));
+    assert!(stdout.contains("decisions:"));
+    assert!(stdout.contains("reject"));
+}
+
+#[test]
+fn simulate_metrics_out_writes_snapshot() {
+    let dir = std::env::temp_dir().join("rota-cli-test-metrics");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sim-metrics.json");
+    let path_str = path.to_str().unwrap();
+    let (_, stderr, ok) = run_cli(&[
+        "simulate",
+        "--seed",
+        "7",
+        "--load",
+        "2.0",
+        "--horizon",
+        "48",
+        "--metrics-out",
+        path_str,
+    ]);
+    assert!(ok, "simulate exits zero: {stderr}");
+    let text = std::fs::read_to_string(&path).expect("metrics file written");
+    let doc = Json::parse(&text).expect("metrics file is valid JSON");
+    let metrics = doc.get("metrics").expect("snapshot present");
+    assert!(counter(metrics, "admission.requests{policy=rota}") > 0);
+    assert!(metrics.get("sim.events_processed").is_some());
+    assert!(metrics.get("sim.queue_depth").is_some());
+    assert!(doc.get("decisions").and_then(Json::as_array).is_some());
+    std::fs::remove_file(&path).ok();
+}

@@ -26,8 +26,11 @@ use core::fmt;
 use rota_actor::{ComplexRequirement, ConcurrentRequirement, SimpleRequirement};
 use rota_interval::{TimeInterval, TimePoint};
 
+use rota_obs::DecisionEvent;
+
+use crate::obs::{describe_label, CheckObs, RuleKind};
 use crate::schedule::{schedule_complex, schedule_concurrent};
-use crate::state::State;
+use crate::state::{State, TransitionLabel};
 
 /// A ROTA well-formed formula.
 ///
@@ -120,8 +123,18 @@ impl fmt::Display for Formula {
 /// that can still evolve, and an empty vector exactly when the state is
 /// terminal for exploration purposes.
 pub trait Unfolding {
-    /// The states reachable in one transition.
-    fn successors(&self, state: &State) -> Vec<State>;
+    /// The states reachable in one transition, each with the label of
+    /// the transition that produced it — the hook observability uses to
+    /// attribute exploration to LTS rules.
+    fn successors_labeled(&self, state: &State) -> Vec<(State, TransitionLabel)>;
+
+    /// The states reachable in one transition (labels discarded).
+    fn successors(&self, state: &State) -> Vec<State> {
+        self.successors_labeled(state)
+            .into_iter()
+            .map(|(state, _)| state)
+            .collect()
+    }
 }
 
 /// Deterministic unfolding: the single greedy successor (maximal
@@ -131,15 +144,16 @@ pub trait Unfolding {
 pub struct GreedyUnfolding;
 
 impl Unfolding for GreedyUnfolding {
-    fn successors(&self, state: &State) -> Vec<State> {
+    fn successors_labeled(&self, state: &State) -> Vec<(State, TransitionLabel)> {
         if state.theta().is_empty() && state.rho().is_empty() {
             return Vec::new();
         }
         let mut next = state.clone();
         let assignments = next.greedy_assignments();
-        next.step(&assignments)
+        let label = next
+            .step(&assignments)
             .expect("greedy assignments are always valid");
-        vec![next]
+        vec![(next, label)]
     }
 }
 
@@ -160,7 +174,7 @@ impl Default for ChoiceUnfolding {
 }
 
 impl Unfolding for ChoiceUnfolding {
-    fn successors(&self, state: &State) -> Vec<State> {
+    fn successors_labeled(&self, state: &State) -> Vec<(State, TransitionLabel)> {
         if state.theta().is_empty() && state.rho().is_empty() {
             return Vec::new();
         }
@@ -198,9 +212,10 @@ impl Unfolding for ChoiceUnfolding {
             .into_iter()
             .map(|assignments| {
                 let mut next = state.clone();
-                next.step(&assignments)
+                let label = next
+                    .step(&assignments)
                     .expect("entitled assignments are valid");
-                next
+                (next, label)
             })
             .collect()
     }
@@ -211,6 +226,7 @@ impl Unfolding for ChoiceUnfolding {
 pub struct ModelChecker<U = GreedyUnfolding> {
     unfolding: U,
     max_depth: usize,
+    obs: Option<CheckObs>,
 }
 
 impl ModelChecker<GreedyUnfolding> {
@@ -220,6 +236,7 @@ impl ModelChecker<GreedyUnfolding> {
         ModelChecker {
             unfolding: GreedyUnfolding,
             max_depth,
+            obs: None,
         }
     }
 }
@@ -230,49 +247,143 @@ impl<U: Unfolding> ModelChecker<U> {
         ModelChecker {
             unfolding,
             max_depth,
+            obs: None,
         }
+    }
+
+    /// Attaches observability: states-visited and per-rule firing
+    /// counters, the formula-depth histogram, and (when the bundle
+    /// carries a journal) a [`DecisionEvent::ModelCheck`] per
+    /// [`check`](ModelChecker::check) call.
+    pub fn with_obs(mut self, obs: CheckObs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Evaluates `M, σ, t ⊨ ψ` with `σ, t` given by `state` (the path's
     /// current point); temporal operators explore up to the depth bound.
     pub fn holds(&self, state: &State, formula: &Formula) -> bool {
+        if let Some(obs) = &self.obs {
+            obs.observe_eval_depth(formula_depth(formula));
+        }
+        self.eval(state, formula)
+    }
+
+    /// Like [`holds`](ModelChecker::holds), but additionally records a
+    /// [`DecisionEvent::ModelCheck`] into the attached journal (when
+    /// one is attached via [`CheckObs::with_journal`]) carrying the
+    /// states-visited count of this run and — for a falsified `□ψ` —
+    /// the first falsifying path prefix.
+    pub fn check(&self, state: &State, formula: &Formula) -> bool {
+        let visited_before = self.obs.as_ref().map_or(0, CheckObs::states_visited);
+        if let Some(obs) = &self.obs {
+            obs.observe_eval_depth(formula_depth(formula));
+        }
+        let mut prefix = Vec::new();
+        let verdict = match formula {
+            Formula::Always(p) => self.forall_traced(state, p, self.max_depth, &mut prefix),
+            _ => self.eval(state, formula),
+        };
+        if let Some(journal) = self.obs.as_ref().and_then(CheckObs::journal) {
+            let visited = self.obs.as_ref().map_or(0, CheckObs::states_visited) - visited_before;
+            journal.record(DecisionEvent::ModelCheck {
+                formula: formula.to_string(),
+                verdict,
+                states_visited: visited,
+                falsifying_prefix: if verdict { Vec::new() } else { prefix },
+            });
+        }
+        verdict
+    }
+
+    fn eval(&self, state: &State, formula: &Formula) -> bool {
         match formula {
             Formula::True => true,
             Formula::False => false,
             Formula::SatisfySimple(req) => satisfy_simple(state, req),
             Formula::SatisfyComplex(req) => satisfy_complex(state, req),
             Formula::SatisfyConcurrent(req) => satisfy_concurrent(state, req),
-            Formula::Not(p) => !self.holds(state, p),
-            Formula::Or(a, b) => self.holds(state, a) || self.holds(state, b),
+            Formula::Not(p) => !self.eval(state, p),
+            Formula::Or(a, b) => self.eval(state, a) || self.eval(state, b),
             Formula::Eventually(p) => self.exists(state, p, self.max_depth),
             Formula::Always(p) => self.forall(state, p, self.max_depth),
         }
     }
 
+    /// One level of instrumented unfolding: counts explored states and
+    /// attributes each realized transition to its LTS rule.
+    fn explore(&self, state: &State) -> Vec<(State, TransitionLabel)> {
+        let successors = self.unfolding.successors_labeled(state);
+        if let Some(obs) = &self.obs {
+            obs.count_states(successors.len() as u64);
+            for (_, label) in &successors {
+                obs.count_rule(RuleKind::of(label));
+            }
+        }
+        successors
+    }
+
     fn exists(&self, state: &State, p: &Formula, depth: usize) -> bool {
-        if self.holds(state, p) {
+        if self.eval(state, p) {
             return true;
         }
         if depth == 0 {
             return false;
         }
-        self.unfolding
-            .successors(state)
+        self.explore(state)
             .iter()
-            .any(|next| self.exists(next, p, depth - 1))
+            .any(|(next, _)| self.exists(next, p, depth - 1))
     }
 
     fn forall(&self, state: &State, p: &Formula, depth: usize) -> bool {
-        if !self.holds(state, p) {
+        if !self.eval(state, p) {
             return false;
         }
         if depth == 0 {
             return true;
         }
-        self.unfolding
-            .successors(state)
+        self.explore(state)
             .iter()
-            .all(|next| self.forall(next, p, depth - 1))
+            .all(|(next, _)| self.forall(next, p, depth - 1))
+    }
+
+    /// `forall` threading the label trail from the root, so a failure
+    /// leaves the falsifying path prefix in `trail` (empty = falsified
+    /// at the initial state itself).
+    fn forall_traced(
+        &self,
+        state: &State,
+        p: &Formula,
+        depth: usize,
+        trail: &mut Vec<String>,
+    ) -> bool {
+        if !self.eval(state, p) {
+            return false;
+        }
+        if depth == 0 {
+            return true;
+        }
+        for (next, label) in self.explore(state) {
+            trail.push(describe_label(&label));
+            if !self.forall_traced(&next, p, depth - 1, trail) {
+                return false;
+            }
+            trail.pop();
+        }
+        true
+    }
+}
+
+/// Syntactic nesting depth of a formula (atoms are depth 1).
+fn formula_depth(formula: &Formula) -> u64 {
+    match formula {
+        Formula::True
+        | Formula::False
+        | Formula::SatisfySimple(_)
+        | Formula::SatisfyComplex(_)
+        | Formula::SatisfyConcurrent(_) => 1,
+        Formula::Not(p) | Formula::Eventually(p) | Formula::Always(p) => 1 + formula_depth(p),
+        Formula::Or(a, b) => 1 + formula_depth(a).max(formula_depth(b)),
     }
 }
 

@@ -59,6 +59,7 @@
 mod commitment;
 mod formula;
 mod model;
+pub mod obs;
 mod path;
 mod planner;
 mod schedule;
@@ -68,6 +69,7 @@ mod workflow;
 
 pub use commitment::{Commitment, Commitments, ScheduledSegment};
 pub use formula::{ChoiceUnfolding, Formula, GreedyUnfolding, ModelChecker, Unfolding};
+pub use obs::{describe_label, CheckObs, RuleKind};
 pub use model::SystemModel;
 pub use path::ComputationPath;
 pub use planner::{choose_plan, PlanChoice, PlanObjective};

@@ -1,0 +1,83 @@
+//! Feature-gated RAII scope timing.
+//!
+//! `ScopeTimer` exists unconditionally so call sites compile the same
+//! either way, but its clock reads are compiled in only under the
+//! `obs-timing` feature: without it, construction and drop are no-ops
+//! and the admission accept path carries zero timing cost. Benches that
+//! want per-rule attribution build with
+//! `--features rota-obs/obs-timing`.
+
+use crate::metrics::Histogram;
+
+/// Records the wall-clock nanoseconds a scope took into a histogram
+/// when dropped — only under the `obs-timing` feature.
+///
+/// ```
+/// # use rota_obs::{Histogram, ScopeTimer};
+/// let latency = Histogram::new(Histogram::latency_ns_bounds());
+/// {
+///     let _timer = ScopeTimer::new(&latency);
+///     // ... timed work ...
+/// }
+/// // With `obs-timing` enabled, `latency` now holds one observation.
+/// ```
+#[must_use = "a ScopeTimer measures until dropped; binding it to `_` drops immediately"]
+pub struct ScopeTimer<'a> {
+    #[cfg(feature = "obs-timing")]
+    start: std::time::Instant,
+    #[cfg(feature = "obs-timing")]
+    histogram: &'a Histogram,
+    #[cfg(not(feature = "obs-timing"))]
+    _marker: core::marker::PhantomData<&'a Histogram>,
+}
+
+impl<'a> ScopeTimer<'a> {
+    /// Starts timing into `histogram` (no-op without `obs-timing`).
+    pub fn new(histogram: &'a Histogram) -> Self {
+        #[cfg(feature = "obs-timing")]
+        {
+            ScopeTimer {
+                start: std::time::Instant::now(),
+                histogram,
+            }
+        }
+        #[cfg(not(feature = "obs-timing"))]
+        {
+            let _ = histogram;
+            ScopeTimer {
+                _marker: core::marker::PhantomData,
+            }
+        }
+    }
+
+    /// Whether timers actually measure in this build.
+    pub const fn enabled() -> bool {
+        cfg!(feature = "obs-timing")
+    }
+}
+
+impl Drop for ScopeTimer<'_> {
+    fn drop(&mut self) {
+        #[cfg(feature = "obs-timing")]
+        self.histogram
+            .observe(self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_observes_iff_feature_enabled() {
+        let hist = Histogram::new(&[1_000_000_000]);
+        {
+            let _timer = ScopeTimer::new(&hist);
+        }
+        if ScopeTimer::enabled() {
+            assert_eq!(hist.count(), 1);
+        } else {
+            assert_eq!(hist.count(), 0);
+        }
+    }
+}

@@ -31,5 +31,8 @@ mod trace;
 
 pub use event::{Event, EventQueue};
 pub use scenario::{Scenario, TimedEvent};
-pub use sim::{compare_policies, run_scenario, run_scenario_traced, SimulationReport};
+pub use sim::{
+    compare_policies, run_scenario, run_scenario_observed, run_scenario_traced,
+    run_scenario_traced_observed, SimulationReport,
+};
 pub use trace::{Trace, TraceSample};

@@ -1,16 +1,30 @@
 //! The simulation driver: replays a [`Scenario`] through an
 //! [`AdmissionController`] and reports outcome metrics.
+//!
+//! Every run is instrumented: admission counters flow into a
+//! [`Registry`] (a private throwaway one unless the caller supplies
+//! their own via [`run_scenario_observed`]) and each admission verdict
+//! lands in a decision journal surfaced as
+//! [`SimulationReport::decisions`]. Driver-level metric names:
+//!
+//! | name | kind | meaning |
+//! |---|---|---|
+//! | `sim.events_processed` | counter | scenario events applied (joins, arrivals, leaves) |
+//! | `sim.queue_depth` | gauge | events still pending after each tick's drain |
+//! | `sim.ticks` | counter | `Δt` steps executed |
+//! | `sim.misses` | counter | deadline misses observed |
 
 use core::fmt;
 
-use rota_admission::{AdmissionController, AdmissionPolicy, ExecutionStrategy};
+use rota_admission::{AdmissionController, AdmissionObs, AdmissionPolicy, ExecutionStrategy};
 use rota_interval::TimePoint;
+use rota_obs::{DecisionEvent, Registry};
 
 use crate::event::Event;
 use crate::scenario::Scenario;
 
 /// Outcome metrics of one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulationReport {
     /// Requests accepted by the policy.
     pub accepted: u64,
@@ -28,6 +42,10 @@ pub struct SimulationReport {
     pub delivered_units: u64,
     /// The horizon the run ended at.
     pub horizon: TimePoint,
+    /// Why each request was admitted or refused, in submission order
+    /// (bounded: the journal retains the most recent
+    /// [`rota_admission::obs::DEFAULT_JOURNAL_CAPACITY`] verdicts).
+    pub decisions: Vec<DecisionEvent>,
 }
 
 impl SimulationReport {
@@ -96,18 +114,43 @@ pub fn run_scenario<P: AdmissionPolicy>(
     policy: P,
     strategy: ExecutionStrategy,
 ) -> SimulationReport {
-    run_impl(scenario, policy, strategy, None)
+    run_impl(scenario, policy, strategy, None, &Registry::new())
+}
+
+/// Like [`run_scenario`], but counting into a caller-supplied
+/// [`Registry`] — for the CLI's `--metrics-out` and for benches.
+pub fn run_scenario_observed<P: AdmissionPolicy>(
+    scenario: &Scenario,
+    policy: P,
+    strategy: ExecutionStrategy,
+    registry: &Registry,
+) -> SimulationReport {
+    run_impl(scenario, policy, strategy, None, registry)
 }
 
 /// Like [`run_scenario`], additionally recording a per-tick
-/// [`Trace`](crate::Trace) of the controller's state.
+/// [`Trace`](crate::Trace) of the controller's state. Traced runs go
+/// through the same driver as untraced ones — the trace is sampled off
+/// the controller after each tick, and the decision journal is fed
+/// identically.
 pub fn run_scenario_traced<P: AdmissionPolicy>(
     scenario: &Scenario,
     policy: P,
     strategy: ExecutionStrategy,
 ) -> (SimulationReport, crate::trace::Trace) {
+    run_scenario_traced_observed(scenario, policy, strategy, &Registry::new())
+}
+
+/// [`run_scenario_traced`] with a caller-supplied [`Registry`] — trace,
+/// metrics, and decision journal from one run.
+pub fn run_scenario_traced_observed<P: AdmissionPolicy>(
+    scenario: &Scenario,
+    policy: P,
+    strategy: ExecutionStrategy,
+    registry: &Registry,
+) -> (SimulationReport, crate::trace::Trace) {
     let mut trace = crate::trace::Trace::new();
-    let report = run_impl(scenario, policy, strategy, Some(&mut trace));
+    let report = run_impl(scenario, policy, strategy, Some(&mut trace), registry);
     (report, trace)
 }
 
@@ -116,14 +159,23 @@ fn run_impl<P: AdmissionPolicy>(
     policy: P,
     strategy: ExecutionStrategy,
     mut trace: Option<&mut crate::trace::Trace>,
+    registry: &Registry,
 ) -> SimulationReport {
+    let obs = AdmissionObs::new(registry, policy.name());
+    let events_processed = registry.counter("sim.events_processed");
+    let queue_depth = registry.gauge("sim.queue_depth");
+    let ticks = registry.counter("sim.ticks");
+    let misses = registry.counter("sim.misses");
     let mut controller =
         AdmissionController::new(policy, scenario.initial().clone(), TimePoint::ZERO)
-            .with_strategy(strategy);
+            .with_strategy(strategy)
+            .with_obs(obs);
     let mut queue = scenario.queue();
     let horizon = scenario.horizon();
+    let mut seen_missed = 0u64;
     while controller.now() < horizon || controller.in_flight() > 0 {
         while let Some((_, event)) = queue.pop_due(controller.now()) {
+            events_processed.inc();
             match event {
                 Event::ResourceJoin { theta } => {
                     controller
@@ -138,17 +190,14 @@ fn run_impl<P: AdmissionPolicy>(
                 }
             }
         }
+        queue_depth.set(queue.len() as i64);
         controller.tick();
+        ticks.inc();
+        let stats = controller.stats();
+        misses.add(stats.missed - seen_missed);
+        seen_missed = stats.missed;
         if let Some(trace) = trace.as_deref_mut() {
-            let stats = controller.stats();
-            trace.push(crate::trace::TraceSample {
-                t: controller.now(),
-                in_flight: controller.in_flight(),
-                accepted: stats.accepted,
-                rejected: stats.rejected,
-                missed: stats.missed,
-                delivered_units: controller.delivered_units(),
-            });
+            trace.push(crate::trace::TraceSample::of_controller(&controller));
         }
         // Hard stop: nothing more can happen once events are exhausted,
         // no work is in flight, and we are past the horizon.
@@ -166,6 +215,7 @@ fn run_impl<P: AdmissionPolicy>(
         offered_units: scenario.offered_units(),
         delivered_units: controller.delivered_units(),
         horizon: controller.now(),
+        decisions: controller.explain(),
     }
 }
 
@@ -334,6 +384,53 @@ mod tests {
             ExecutionStrategy::FirstEntitled,
         );
         assert_eq!(empty.utilization(), 0.0);
+    }
+
+    #[test]
+    fn reports_carry_decisions_and_metrics_flow_into_registry() {
+        let registry = Registry::new();
+        let report = run_scenario_observed(
+            &overload_scenario(),
+            RotaPolicy,
+            ExecutionStrategy::FirstEntitled,
+            &registry,
+        );
+        assert_eq!(report.decisions.len(), 8, "one verdict per arrival");
+        let rejected_with_term = report
+            .decisions
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    DecisionEvent::Admission {
+                        accepted: false,
+                        violated_term: Some(_),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(rejected_with_term, 6, "each rejection names the short term");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sim.events_processed"), Some(8));
+        assert_eq!(snap.counter("sim.misses"), Some(0));
+        assert_eq!(snap.gauge("sim.queue_depth"), Some(0));
+        assert!(snap.counter("sim.ticks").unwrap() >= 8);
+        assert_eq!(snap.counter("admission.accepted{policy=rota}"), Some(2));
+        assert_eq!(snap.counter("admission.rejected{policy=rota}"), Some(6));
+    }
+
+    #[test]
+    fn traced_and_untraced_runs_agree() {
+        let scenario = overload_scenario();
+        let plain = run_scenario(&scenario, RotaPolicy, ExecutionStrategy::FirstEntitled);
+        let (traced, trace) =
+            run_scenario_traced(&scenario, RotaPolicy, ExecutionStrategy::FirstEntitled);
+        assert_eq!(plain, traced, "one code path drives both");
+        assert!(!trace.is_empty());
+        let last = trace.samples().last().unwrap();
+        assert_eq!(last.accepted, traced.accepted);
+        assert_eq!(last.missed, traced.missed);
     }
 
     #[test]

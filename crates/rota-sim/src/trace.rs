@@ -1,5 +1,6 @@
 //! Per-tick execution traces: time series of what a run actually did.
 
+use rota_admission::{AdmissionController, AdmissionPolicy};
 use rota_interval::TimePoint;
 
 /// One tick's observation of a running controller.
@@ -17,6 +18,22 @@ pub struct TraceSample {
     pub missed: u64,
     /// Cumulative delivered resource units.
     pub delivered_units: u64,
+}
+
+impl TraceSample {
+    /// Samples a controller after a tick — the single sampling path for
+    /// traced runs.
+    pub fn of_controller<P: AdmissionPolicy>(controller: &AdmissionController<P>) -> Self {
+        let stats = controller.stats();
+        TraceSample {
+            t: controller.now(),
+            in_flight: controller.in_flight(),
+            accepted: stats.accepted,
+            rejected: stats.rejected,
+            missed: stats.missed,
+            delivered_units: controller.delivered_units(),
+        }
+    }
 }
 
 /// The full time series of a traced run.

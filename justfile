@@ -1,0 +1,20 @@
+# Development shortcuts. Install `just` (https://just.systems) or copy
+# the recipe bodies into a shell.
+
+# Build, test, and lint — the bar every change must clear.
+verify:
+    cargo build --release
+    cargo test -q
+    cargo clippy --workspace -- -D warnings
+
+# Full benchmark sweep (slow; see EXPERIMENTS.md for recorded numbers).
+bench:
+    cargo bench -p rota-bench
+
+# The admission observability-overhead check on its own.
+bench-obs:
+    cargo bench -p rota-bench --bench admission
+
+# Regenerate the metric/journal demo dump.
+stats:
+    cargo run -p rota-cli -- stats

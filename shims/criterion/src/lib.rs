@@ -1,0 +1,317 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This shim keeps the workspace's benches compiling
+//! and running with the same source: `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `black_box`, and
+//! `Bencher::iter`.
+//!
+//! Measurement is deliberately simple: each benchmark warms up briefly,
+//! then runs timed batches and reports the median ns/iter (plus
+//! throughput when configured) on stdout. There is no statistical
+//! analysis, HTML report, or baseline comparison — numbers are for
+//! relative, same-machine comparison only.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter display.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id made of the parameter display alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher<'a> {
+    sample_size: usize,
+    result_ns: &'a mut Option<f64>,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`, storing the median ns per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~20ms have elapsed (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() > Duration::from_millis(20) {
+                break;
+            }
+        }
+        // Calibrate batch size so one batch takes ~1ms.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().as_nanos().max(1);
+        let batch = ((1_000_000 / probe).max(1) as usize).min(1_000_000);
+
+        let samples = self.sample_size.clamp(10, 200);
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        *self.result_ns = Some(per_iter[per_iter.len() / 2]);
+    }
+
+    /// Measures `routine` with a fresh `setup()` input each call; setup
+    /// time is excluded from the measurement.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: run until ~20ms have elapsed (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine(setup()));
+            if warm_start.elapsed() > Duration::from_millis(20) {
+                break;
+            }
+        }
+        // Calibrate batch size so one batch's routine time is ~1ms.
+        let probe_input = setup();
+        let probe_start = Instant::now();
+        black_box(routine(probe_input));
+        let probe = probe_start.elapsed().as_nanos().max(1);
+        let batch = ((1_000_000 / probe).max(1) as usize).min(1_000_000);
+
+        let samples = self.sample_size.clamp(10, 200);
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        let mut inputs: Vec<I> = Vec::with_capacity(batch);
+        for _ in 0..samples {
+            inputs.extend((0..batch).map(|_| setup()));
+            let start = Instant::now();
+            for input in inputs.drain(..) {
+                black_box(routine(input));
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        *self.result_ns = Some(per_iter[per_iter.len() / 2]);
+    }
+}
+
+fn report(group: &str, id: &str, ns: f64, throughput: Option<Throughput>) {
+    let name = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 * 1e9 / ns)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 * 1e9 / ns)
+        }
+        None => String::new(),
+    };
+    println!("bench: {name:<55} {ns:>12.1} ns/iter{rate}");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut result_ns = None;
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            result_ns: &mut result_ns,
+        };
+        f(&mut bencher, input);
+        if let Some(ns) = result_ns {
+            report(&self.name, &id.id, ns, self.throughput);
+        }
+        self
+    }
+
+    /// Runs a benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut result_ns = None;
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            result_ns: &mut result_ns,
+        };
+        f(&mut bencher);
+        if let Some(ns) = result_ns {
+            report(&self.name, &id.id, ns, self.throughput);
+        }
+        self
+    }
+
+    /// Ends the group (no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// Conversion into a [`BenchmarkId`], so `bench_function` accepts both
+/// string names and explicit ids like the real crate.
+pub trait IntoBenchmarkId {
+    /// Converts `self` into an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// The benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 60,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            name: String::new(),
+            sample_size: 60,
+            throughput: None,
+            _criterion: self,
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups (CLI filters are ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim-selftest");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(16));
+        group.bench_with_input(BenchmarkId::new("sum", 16), &16u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("trivial", |b| b.iter(|| black_box(1u64 + 1)));
+        group.finish();
+    }
+
+    criterion_group!(selftest, sample_bench);
+
+    #[test]
+    fn harness_runs_and_measures() {
+        selftest();
+        let mut c = Criterion::default();
+        c.bench_function(BenchmarkId::from_parameter("standalone"), |b| {
+            b.iter(|| black_box(2u64 * 2))
+        });
+    }
+}
