@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/assurance-58cf24db432d668a.d: tests/assurance.rs
+
+/root/repo/target/debug/deps/assurance-58cf24db432d668a: tests/assurance.rs
+
+tests/assurance.rs:

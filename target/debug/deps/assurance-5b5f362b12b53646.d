@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/assurance-5b5f362b12b53646.d: tests/assurance.rs
+
+/root/repo/target/debug/deps/assurance-5b5f362b12b53646: tests/assurance.rs
+
+tests/assurance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/assurance-e11d9e8f582c926b.d: tests/assurance.rs
+
+/root/repo/target/debug/deps/assurance-e11d9e8f582c926b: tests/assurance.rs
+
+tests/assurance.rs:

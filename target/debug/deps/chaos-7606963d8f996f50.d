@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-7606963d8f996f50.d: crates/rota-logic/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-7606963d8f996f50: crates/rota-logic/tests/chaos.rs
+
+crates/rota-logic/tests/chaos.rs:

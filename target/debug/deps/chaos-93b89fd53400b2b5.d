@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-93b89fd53400b2b5.d: crates/rota-logic/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-93b89fd53400b2b5: crates/rota-logic/tests/chaos.rs
+
+crates/rota-logic/tests/chaos.rs:

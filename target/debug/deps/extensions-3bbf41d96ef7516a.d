@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-3bbf41d96ef7516a.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-3bbf41d96ef7516a: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-ceae48ee2daace4d.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-ceae48ee2daace4d: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-dc3462ab60961241.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-dc3462ab60961241: tests/extensions.rs
+
+tests/extensions.rs:

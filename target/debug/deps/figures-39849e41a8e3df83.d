@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-39849e41a8e3df83.d: crates/rota-bench/src/bin/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-39849e41a8e3df83.rmeta: crates/rota-bench/src/bin/figures.rs Cargo.toml
+
+crates/rota-bench/src/bin/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

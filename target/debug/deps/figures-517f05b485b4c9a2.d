@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-517f05b485b4c9a2.d: crates/rota-bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-517f05b485b4c9a2: crates/rota-bench/src/bin/figures.rs
+
+crates/rota-bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-95aca64415c43b2b.d: crates/rota-bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-95aca64415c43b2b: crates/rota-bench/src/bin/figures.rs
+
+crates/rota-bench/src/bin/figures.rs:

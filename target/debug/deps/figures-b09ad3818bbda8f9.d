@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-b09ad3818bbda8f9.d: crates/rota-bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-b09ad3818bbda8f9: crates/rota-bench/src/bin/figures.rs
+
+crates/rota-bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-b3644f3830173814.d: crates/rota-bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-b3644f3830173814: crates/rota-bench/src/bin/figures.rs
+
+crates/rota-bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_walkthrough-6637c435439b1e1b.d: tests/paper_walkthrough.rs
+
+/root/repo/target/debug/deps/paper_walkthrough-6637c435439b1e1b: tests/paper_walkthrough.rs
+
+tests/paper_walkthrough.rs:

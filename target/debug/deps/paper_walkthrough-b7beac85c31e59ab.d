@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_walkthrough-b7beac85c31e59ab.d: tests/paper_walkthrough.rs
+
+/root/repo/target/debug/deps/paper_walkthrough-b7beac85c31e59ab: tests/paper_walkthrough.rs
+
+tests/paper_walkthrough.rs:

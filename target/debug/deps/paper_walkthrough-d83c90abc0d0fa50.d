@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_walkthrough-d83c90abc0d0fa50.d: tests/paper_walkthrough.rs
+
+/root/repo/target/debug/deps/paper_walkthrough-d83c90abc0d0fa50: tests/paper_walkthrough.rs
+
+tests/paper_walkthrough.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1dafadbc9ec26d79.d: crates/rota-logic/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1dafadbc9ec26d79: crates/rota-logic/tests/properties.rs
+
+crates/rota-logic/tests/properties.rs:

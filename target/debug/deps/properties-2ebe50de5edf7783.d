@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2ebe50de5edf7783.d: crates/rota-interval/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2ebe50de5edf7783: crates/rota-interval/tests/properties.rs
+
+crates/rota-interval/tests/properties.rs:

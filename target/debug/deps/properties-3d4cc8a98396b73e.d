@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3d4cc8a98396b73e.d: crates/rota-resource/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3d4cc8a98396b73e: crates/rota-resource/tests/properties.rs
+
+crates/rota-resource/tests/properties.rs:

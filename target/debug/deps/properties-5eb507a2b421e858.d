@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5eb507a2b421e858.d: crates/rota-admission/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5eb507a2b421e858: crates/rota-admission/tests/properties.rs
+
+crates/rota-admission/tests/properties.rs:

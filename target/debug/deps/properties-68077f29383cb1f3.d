@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-68077f29383cb1f3.d: crates/rota-logic/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-68077f29383cb1f3: crates/rota-logic/tests/properties.rs
+
+crates/rota-logic/tests/properties.rs:

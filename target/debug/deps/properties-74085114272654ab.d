@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-74085114272654ab.d: crates/rota-actor/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-74085114272654ab: crates/rota-actor/tests/properties.rs
+
+crates/rota-actor/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b00804f162e57440.d: crates/rota-admission/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b00804f162e57440: crates/rota-admission/tests/properties.rs
+
+crates/rota-admission/tests/properties.rs:

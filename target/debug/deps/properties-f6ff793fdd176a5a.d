@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f6ff793fdd176a5a.d: crates/rota-admission/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f6ff793fdd176a5a: crates/rota-admission/tests/properties.rs
+
+crates/rota-admission/tests/properties.rs:

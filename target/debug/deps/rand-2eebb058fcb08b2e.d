@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-2eebb058fcb08b2e.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-2eebb058fcb08b2e: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-af3412cafa2fca4b.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-af3412cafa2fca4b.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-af3412cafa2fca4b.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-d44254295d41f801.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d44254295d41f801.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d44254295d41f801.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rota-2e4de000e5c2e850.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librota-2e4de000e5c2e850.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rota-35f119798500048e.d: src/lib.rs
+
+/root/repo/target/debug/deps/rota-35f119798500048e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rota-460b5492e9ab59d0.d: src/lib.rs
+
+/root/repo/target/debug/deps/librota-460b5492e9ab59d0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librota-460b5492e9ab59d0.rmeta: src/lib.rs
+
+src/lib.rs:

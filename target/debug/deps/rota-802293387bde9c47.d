@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rota-802293387bde9c47.d: src/lib.rs
+
+/root/repo/target/debug/deps/rota-802293387bde9c47: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rota-b216495028df315e.d: src/lib.rs
+
+/root/repo/target/debug/deps/rota-b216495028df315e: src/lib.rs
+
+src/lib.rs:

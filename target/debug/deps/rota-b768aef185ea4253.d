@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rota-b768aef185ea4253.d: src/lib.rs
+
+/root/repo/target/debug/deps/librota-b768aef185ea4253.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librota-b768aef185ea4253.rmeta: src/lib.rs
+
+src/lib.rs:

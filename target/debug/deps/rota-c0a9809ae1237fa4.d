@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rota-c0a9809ae1237fa4.d: src/lib.rs
+
+/root/repo/target/debug/deps/librota-c0a9809ae1237fa4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librota-c0a9809ae1237fa4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rota_actor-7502b2ae0ce7ddd0.d: crates/rota-actor/src/lib.rs crates/rota-actor/src/action.rs crates/rota-actor/src/computation.rs crates/rota-actor/src/cost.rs crates/rota-actor/src/demand.rs crates/rota-actor/src/requirement.rs crates/rota-actor/src/segment.rs Cargo.toml
+
+/root/repo/target/debug/deps/librota_actor-7502b2ae0ce7ddd0.rmeta: crates/rota-actor/src/lib.rs crates/rota-actor/src/action.rs crates/rota-actor/src/computation.rs crates/rota-actor/src/cost.rs crates/rota-actor/src/demand.rs crates/rota-actor/src/requirement.rs crates/rota-actor/src/segment.rs Cargo.toml
+
+crates/rota-actor/src/lib.rs:
+crates/rota-actor/src/action.rs:
+crates/rota-actor/src/computation.rs:
+crates/rota-actor/src/cost.rs:
+crates/rota-actor/src/demand.rs:
+crates/rota-actor/src/requirement.rs:
+crates/rota-actor/src/segment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rota_actor-e464e92721f23a86.d: crates/rota-actor/src/lib.rs crates/rota-actor/src/action.rs crates/rota-actor/src/computation.rs crates/rota-actor/src/cost.rs crates/rota-actor/src/demand.rs crates/rota-actor/src/requirement.rs crates/rota-actor/src/segment.rs
+
+/root/repo/target/debug/deps/rota_actor-e464e92721f23a86: crates/rota-actor/src/lib.rs crates/rota-actor/src/action.rs crates/rota-actor/src/computation.rs crates/rota-actor/src/cost.rs crates/rota-actor/src/demand.rs crates/rota-actor/src/requirement.rs crates/rota-actor/src/segment.rs
+
+crates/rota-actor/src/lib.rs:
+crates/rota-actor/src/action.rs:
+crates/rota-actor/src/computation.rs:
+crates/rota-actor/src/cost.rs:
+crates/rota-actor/src/demand.rs:
+crates/rota-actor/src/requirement.rs:
+crates/rota-actor/src/segment.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rota_actor-fc9882f063042e90.d: crates/rota-actor/src/lib.rs crates/rota-actor/src/action.rs crates/rota-actor/src/computation.rs crates/rota-actor/src/cost.rs crates/rota-actor/src/demand.rs crates/rota-actor/src/requirement.rs crates/rota-actor/src/segment.rs
+
+/root/repo/target/debug/deps/librota_actor-fc9882f063042e90.rlib: crates/rota-actor/src/lib.rs crates/rota-actor/src/action.rs crates/rota-actor/src/computation.rs crates/rota-actor/src/cost.rs crates/rota-actor/src/demand.rs crates/rota-actor/src/requirement.rs crates/rota-actor/src/segment.rs
+
+/root/repo/target/debug/deps/librota_actor-fc9882f063042e90.rmeta: crates/rota-actor/src/lib.rs crates/rota-actor/src/action.rs crates/rota-actor/src/computation.rs crates/rota-actor/src/cost.rs crates/rota-actor/src/demand.rs crates/rota-actor/src/requirement.rs crates/rota-actor/src/segment.rs
+
+crates/rota-actor/src/lib.rs:
+crates/rota-actor/src/action.rs:
+crates/rota-actor/src/computation.rs:
+crates/rota-actor/src/cost.rs:
+crates/rota-actor/src/demand.rs:
+crates/rota-actor/src/requirement.rs:
+crates/rota-actor/src/segment.rs:

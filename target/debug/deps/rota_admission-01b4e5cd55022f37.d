@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rota_admission-01b4e5cd55022f37.d: crates/rota-admission/src/lib.rs crates/rota-admission/src/controller.rs crates/rota-admission/src/obs.rs crates/rota-admission/src/policy.rs crates/rota-admission/src/request.rs
+
+/root/repo/target/debug/deps/rota_admission-01b4e5cd55022f37: crates/rota-admission/src/lib.rs crates/rota-admission/src/controller.rs crates/rota-admission/src/obs.rs crates/rota-admission/src/policy.rs crates/rota-admission/src/request.rs
+
+crates/rota-admission/src/lib.rs:
+crates/rota-admission/src/controller.rs:
+crates/rota-admission/src/obs.rs:
+crates/rota-admission/src/policy.rs:
+crates/rota-admission/src/request.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rota_admission-a49620782427ef89.d: crates/rota-admission/src/lib.rs crates/rota-admission/src/controller.rs crates/rota-admission/src/obs.rs crates/rota-admission/src/policy.rs crates/rota-admission/src/request.rs
+
+/root/repo/target/debug/deps/rota_admission-a49620782427ef89: crates/rota-admission/src/lib.rs crates/rota-admission/src/controller.rs crates/rota-admission/src/obs.rs crates/rota-admission/src/policy.rs crates/rota-admission/src/request.rs
+
+crates/rota-admission/src/lib.rs:
+crates/rota-admission/src/controller.rs:
+crates/rota-admission/src/obs.rs:
+crates/rota-admission/src/policy.rs:
+crates/rota-admission/src/request.rs:

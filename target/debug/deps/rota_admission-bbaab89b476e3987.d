@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rota_admission-bbaab89b476e3987.d: crates/rota-admission/src/lib.rs crates/rota-admission/src/controller.rs crates/rota-admission/src/obs.rs crates/rota-admission/src/policy.rs crates/rota-admission/src/request.rs
+
+/root/repo/target/debug/deps/librota_admission-bbaab89b476e3987.rlib: crates/rota-admission/src/lib.rs crates/rota-admission/src/controller.rs crates/rota-admission/src/obs.rs crates/rota-admission/src/policy.rs crates/rota-admission/src/request.rs
+
+/root/repo/target/debug/deps/librota_admission-bbaab89b476e3987.rmeta: crates/rota-admission/src/lib.rs crates/rota-admission/src/controller.rs crates/rota-admission/src/obs.rs crates/rota-admission/src/policy.rs crates/rota-admission/src/request.rs
+
+crates/rota-admission/src/lib.rs:
+crates/rota-admission/src/controller.rs:
+crates/rota-admission/src/obs.rs:
+crates/rota-admission/src/policy.rs:
+crates/rota-admission/src/request.rs:

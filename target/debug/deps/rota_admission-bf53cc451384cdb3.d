@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rota_admission-bf53cc451384cdb3.d: crates/rota-admission/src/lib.rs crates/rota-admission/src/controller.rs crates/rota-admission/src/policy.rs crates/rota-admission/src/request.rs
+
+/root/repo/target/debug/deps/librota_admission-bf53cc451384cdb3.rlib: crates/rota-admission/src/lib.rs crates/rota-admission/src/controller.rs crates/rota-admission/src/policy.rs crates/rota-admission/src/request.rs
+
+/root/repo/target/debug/deps/librota_admission-bf53cc451384cdb3.rmeta: crates/rota-admission/src/lib.rs crates/rota-admission/src/controller.rs crates/rota-admission/src/policy.rs crates/rota-admission/src/request.rs
+
+crates/rota-admission/src/lib.rs:
+crates/rota-admission/src/controller.rs:
+crates/rota-admission/src/policy.rs:
+crates/rota-admission/src/request.rs:

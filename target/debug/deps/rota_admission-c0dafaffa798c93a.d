@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rota_admission-c0dafaffa798c93a.d: crates/rota-admission/src/lib.rs crates/rota-admission/src/controller.rs crates/rota-admission/src/obs.rs crates/rota-admission/src/policy.rs crates/rota-admission/src/request.rs Cargo.toml
+
+/root/repo/target/debug/deps/librota_admission-c0dafaffa798c93a.rmeta: crates/rota-admission/src/lib.rs crates/rota-admission/src/controller.rs crates/rota-admission/src/obs.rs crates/rota-admission/src/policy.rs crates/rota-admission/src/request.rs Cargo.toml
+
+crates/rota-admission/src/lib.rs:
+crates/rota-admission/src/controller.rs:
+crates/rota-admission/src/obs.rs:
+crates/rota-admission/src/policy.rs:
+crates/rota-admission/src/request.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

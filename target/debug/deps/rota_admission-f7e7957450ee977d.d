@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rota_admission-f7e7957450ee977d.d: crates/rota-admission/src/lib.rs crates/rota-admission/src/controller.rs crates/rota-admission/src/policy.rs crates/rota-admission/src/request.rs
+
+/root/repo/target/debug/deps/rota_admission-f7e7957450ee977d: crates/rota-admission/src/lib.rs crates/rota-admission/src/controller.rs crates/rota-admission/src/policy.rs crates/rota-admission/src/request.rs
+
+crates/rota-admission/src/lib.rs:
+crates/rota-admission/src/controller.rs:
+crates/rota-admission/src/policy.rs:
+crates/rota-admission/src/request.rs:

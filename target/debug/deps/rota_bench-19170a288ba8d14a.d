@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rota_bench-19170a288ba8d14a.d: crates/rota-bench/src/lib.rs
+
+/root/repo/target/debug/deps/librota_bench-19170a288ba8d14a.rlib: crates/rota-bench/src/lib.rs
+
+/root/repo/target/debug/deps/librota_bench-19170a288ba8d14a.rmeta: crates/rota-bench/src/lib.rs
+
+crates/rota-bench/src/lib.rs:

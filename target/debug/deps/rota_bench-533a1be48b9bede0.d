@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rota_bench-533a1be48b9bede0.d: crates/rota-bench/src/lib.rs
+
+/root/repo/target/debug/deps/librota_bench-533a1be48b9bede0.rlib: crates/rota-bench/src/lib.rs
+
+/root/repo/target/debug/deps/librota_bench-533a1be48b9bede0.rmeta: crates/rota-bench/src/lib.rs
+
+crates/rota-bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rota_bench-5765b7192d921c4e.d: crates/rota-bench/src/lib.rs
+
+/root/repo/target/debug/deps/rota_bench-5765b7192d921c4e: crates/rota-bench/src/lib.rs
+
+crates/rota-bench/src/lib.rs:

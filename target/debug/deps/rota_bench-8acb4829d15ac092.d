@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rota_bench-8acb4829d15ac092.d: crates/rota-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librota_bench-8acb4829d15ac092.rmeta: crates/rota-bench/src/lib.rs Cargo.toml
+
+crates/rota-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

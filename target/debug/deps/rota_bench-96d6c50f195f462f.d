@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rota_bench-96d6c50f195f462f.d: crates/rota-bench/src/lib.rs
+
+/root/repo/target/debug/deps/rota_bench-96d6c50f195f462f: crates/rota-bench/src/lib.rs
+
+crates/rota-bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rota_bench-993028a2317a6e91.d: crates/rota-bench/src/lib.rs
+
+/root/repo/target/debug/deps/librota_bench-993028a2317a6e91.rlib: crates/rota-bench/src/lib.rs
+
+/root/repo/target/debug/deps/librota_bench-993028a2317a6e91.rmeta: crates/rota-bench/src/lib.rs
+
+crates/rota-bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rota_bench-a83516615410df88.d: crates/rota-bench/src/lib.rs
+
+/root/repo/target/debug/deps/rota_bench-a83516615410df88: crates/rota-bench/src/lib.rs
+
+crates/rota-bench/src/lib.rs:

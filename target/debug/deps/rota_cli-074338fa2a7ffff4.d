@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rota_cli-074338fa2a7ffff4.d: crates/rota-cli/src/main.rs crates/rota-cli/src/formula.rs crates/rota-cli/src/spec.rs
+
+/root/repo/target/debug/deps/rota_cli-074338fa2a7ffff4: crates/rota-cli/src/main.rs crates/rota-cli/src/formula.rs crates/rota-cli/src/spec.rs
+
+crates/rota-cli/src/main.rs:
+crates/rota-cli/src/formula.rs:
+crates/rota-cli/src/spec.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rota_cli-3b5398e6cb1259e8.d: crates/rota-cli/src/main.rs crates/rota-cli/src/formula.rs crates/rota-cli/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/librota_cli-3b5398e6cb1259e8.rmeta: crates/rota-cli/src/main.rs crates/rota-cli/src/formula.rs crates/rota-cli/src/spec.rs Cargo.toml
+
+crates/rota-cli/src/main.rs:
+crates/rota-cli/src/formula.rs:
+crates/rota-cli/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

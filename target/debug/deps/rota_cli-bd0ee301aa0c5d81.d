@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rota_cli-bd0ee301aa0c5d81.d: crates/rota-cli/src/main.rs crates/rota-cli/src/formula.rs crates/rota-cli/src/spec.rs
+
+/root/repo/target/debug/deps/rota_cli-bd0ee301aa0c5d81: crates/rota-cli/src/main.rs crates/rota-cli/src/formula.rs crates/rota-cli/src/spec.rs
+
+crates/rota-cli/src/main.rs:
+crates/rota-cli/src/formula.rs:
+crates/rota-cli/src/spec.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rota_cyberorgs-03c669798b087232.d: crates/rota-cyberorgs/src/lib.rs crates/rota-cyberorgs/src/hierarchy.rs crates/rota-cyberorgs/src/org.rs
+
+/root/repo/target/debug/deps/rota_cyberorgs-03c669798b087232: crates/rota-cyberorgs/src/lib.rs crates/rota-cyberorgs/src/hierarchy.rs crates/rota-cyberorgs/src/org.rs
+
+crates/rota-cyberorgs/src/lib.rs:
+crates/rota-cyberorgs/src/hierarchy.rs:
+crates/rota-cyberorgs/src/org.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rota_cyberorgs-6d45f1c772702939.d: crates/rota-cyberorgs/src/lib.rs crates/rota-cyberorgs/src/hierarchy.rs crates/rota-cyberorgs/src/org.rs
+
+/root/repo/target/debug/deps/librota_cyberorgs-6d45f1c772702939.rlib: crates/rota-cyberorgs/src/lib.rs crates/rota-cyberorgs/src/hierarchy.rs crates/rota-cyberorgs/src/org.rs
+
+/root/repo/target/debug/deps/librota_cyberorgs-6d45f1c772702939.rmeta: crates/rota-cyberorgs/src/lib.rs crates/rota-cyberorgs/src/hierarchy.rs crates/rota-cyberorgs/src/org.rs
+
+crates/rota-cyberorgs/src/lib.rs:
+crates/rota-cyberorgs/src/hierarchy.rs:
+crates/rota-cyberorgs/src/org.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rota_cyberorgs-727f0be51d62ba3a.d: crates/rota-cyberorgs/src/lib.rs crates/rota-cyberorgs/src/hierarchy.rs crates/rota-cyberorgs/src/org.rs
+
+/root/repo/target/debug/deps/librota_cyberorgs-727f0be51d62ba3a.rlib: crates/rota-cyberorgs/src/lib.rs crates/rota-cyberorgs/src/hierarchy.rs crates/rota-cyberorgs/src/org.rs
+
+/root/repo/target/debug/deps/librota_cyberorgs-727f0be51d62ba3a.rmeta: crates/rota-cyberorgs/src/lib.rs crates/rota-cyberorgs/src/hierarchy.rs crates/rota-cyberorgs/src/org.rs
+
+crates/rota-cyberorgs/src/lib.rs:
+crates/rota-cyberorgs/src/hierarchy.rs:
+crates/rota-cyberorgs/src/org.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rota_cyberorgs-8c54d5f2869200ec.d: crates/rota-cyberorgs/src/lib.rs crates/rota-cyberorgs/src/hierarchy.rs crates/rota-cyberorgs/src/org.rs
+
+/root/repo/target/debug/deps/rota_cyberorgs-8c54d5f2869200ec: crates/rota-cyberorgs/src/lib.rs crates/rota-cyberorgs/src/hierarchy.rs crates/rota-cyberorgs/src/org.rs
+
+crates/rota-cyberorgs/src/lib.rs:
+crates/rota-cyberorgs/src/hierarchy.rs:
+crates/rota-cyberorgs/src/org.rs:

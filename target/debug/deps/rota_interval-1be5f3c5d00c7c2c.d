@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rota_interval-1be5f3c5d00c7c2c.d: crates/rota-interval/src/lib.rs crates/rota-interval/src/compose.rs crates/rota-interval/src/interval.rs crates/rota-interval/src/network.rs crates/rota-interval/src/point.rs crates/rota-interval/src/relation.rs crates/rota-interval/src/relation_set.rs crates/rota-interval/src/set.rs crates/rota-interval/src/time.rs
+
+/root/repo/target/debug/deps/librota_interval-1be5f3c5d00c7c2c.rlib: crates/rota-interval/src/lib.rs crates/rota-interval/src/compose.rs crates/rota-interval/src/interval.rs crates/rota-interval/src/network.rs crates/rota-interval/src/point.rs crates/rota-interval/src/relation.rs crates/rota-interval/src/relation_set.rs crates/rota-interval/src/set.rs crates/rota-interval/src/time.rs
+
+/root/repo/target/debug/deps/librota_interval-1be5f3c5d00c7c2c.rmeta: crates/rota-interval/src/lib.rs crates/rota-interval/src/compose.rs crates/rota-interval/src/interval.rs crates/rota-interval/src/network.rs crates/rota-interval/src/point.rs crates/rota-interval/src/relation.rs crates/rota-interval/src/relation_set.rs crates/rota-interval/src/set.rs crates/rota-interval/src/time.rs
+
+crates/rota-interval/src/lib.rs:
+crates/rota-interval/src/compose.rs:
+crates/rota-interval/src/interval.rs:
+crates/rota-interval/src/network.rs:
+crates/rota-interval/src/point.rs:
+crates/rota-interval/src/relation.rs:
+crates/rota-interval/src/relation_set.rs:
+crates/rota-interval/src/set.rs:
+crates/rota-interval/src/time.rs:

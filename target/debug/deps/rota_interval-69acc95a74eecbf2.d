@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rota_interval-69acc95a74eecbf2.d: crates/rota-interval/src/lib.rs crates/rota-interval/src/compose.rs crates/rota-interval/src/interval.rs crates/rota-interval/src/network.rs crates/rota-interval/src/point.rs crates/rota-interval/src/relation.rs crates/rota-interval/src/relation_set.rs crates/rota-interval/src/set.rs crates/rota-interval/src/time.rs
+
+/root/repo/target/debug/deps/rota_interval-69acc95a74eecbf2: crates/rota-interval/src/lib.rs crates/rota-interval/src/compose.rs crates/rota-interval/src/interval.rs crates/rota-interval/src/network.rs crates/rota-interval/src/point.rs crates/rota-interval/src/relation.rs crates/rota-interval/src/relation_set.rs crates/rota-interval/src/set.rs crates/rota-interval/src/time.rs
+
+crates/rota-interval/src/lib.rs:
+crates/rota-interval/src/compose.rs:
+crates/rota-interval/src/interval.rs:
+crates/rota-interval/src/network.rs:
+crates/rota-interval/src/point.rs:
+crates/rota-interval/src/relation.rs:
+crates/rota-interval/src/relation_set.rs:
+crates/rota-interval/src/set.rs:
+crates/rota-interval/src/time.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/rota_interval-ccc0623f6821cb0c.d: crates/rota-interval/src/lib.rs crates/rota-interval/src/compose.rs crates/rota-interval/src/interval.rs crates/rota-interval/src/network.rs crates/rota-interval/src/point.rs crates/rota-interval/src/relation.rs crates/rota-interval/src/relation_set.rs crates/rota-interval/src/set.rs crates/rota-interval/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/librota_interval-ccc0623f6821cb0c.rmeta: crates/rota-interval/src/lib.rs crates/rota-interval/src/compose.rs crates/rota-interval/src/interval.rs crates/rota-interval/src/network.rs crates/rota-interval/src/point.rs crates/rota-interval/src/relation.rs crates/rota-interval/src/relation_set.rs crates/rota-interval/src/set.rs crates/rota-interval/src/time.rs Cargo.toml
+
+crates/rota-interval/src/lib.rs:
+crates/rota-interval/src/compose.rs:
+crates/rota-interval/src/interval.rs:
+crates/rota-interval/src/network.rs:
+crates/rota-interval/src/point.rs:
+crates/rota-interval/src/relation.rs:
+crates/rota-interval/src/relation_set.rs:
+crates/rota-interval/src/set.rs:
+crates/rota-interval/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/rota_logic-b24536a5982f5b00.d: crates/rota-logic/src/lib.rs crates/rota-logic/src/commitment.rs crates/rota-logic/src/formula.rs crates/rota-logic/src/model.rs crates/rota-logic/src/obs.rs crates/rota-logic/src/path.rs crates/rota-logic/src/planner.rs crates/rota-logic/src/schedule.rs crates/rota-logic/src/state.rs crates/rota-logic/src/theorems.rs crates/rota-logic/src/workflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/librota_logic-b24536a5982f5b00.rmeta: crates/rota-logic/src/lib.rs crates/rota-logic/src/commitment.rs crates/rota-logic/src/formula.rs crates/rota-logic/src/model.rs crates/rota-logic/src/obs.rs crates/rota-logic/src/path.rs crates/rota-logic/src/planner.rs crates/rota-logic/src/schedule.rs crates/rota-logic/src/state.rs crates/rota-logic/src/theorems.rs crates/rota-logic/src/workflow.rs Cargo.toml
+
+crates/rota-logic/src/lib.rs:
+crates/rota-logic/src/commitment.rs:
+crates/rota-logic/src/formula.rs:
+crates/rota-logic/src/model.rs:
+crates/rota-logic/src/obs.rs:
+crates/rota-logic/src/path.rs:
+crates/rota-logic/src/planner.rs:
+crates/rota-logic/src/schedule.rs:
+crates/rota-logic/src/state.rs:
+crates/rota-logic/src/theorems.rs:
+crates/rota-logic/src/workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

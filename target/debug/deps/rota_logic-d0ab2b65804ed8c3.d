@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rota_logic-d0ab2b65804ed8c3.d: crates/rota-logic/src/lib.rs crates/rota-logic/src/commitment.rs crates/rota-logic/src/formula.rs crates/rota-logic/src/model.rs crates/rota-logic/src/path.rs crates/rota-logic/src/planner.rs crates/rota-logic/src/schedule.rs crates/rota-logic/src/state.rs crates/rota-logic/src/theorems.rs crates/rota-logic/src/workflow.rs
+
+/root/repo/target/debug/deps/rota_logic-d0ab2b65804ed8c3: crates/rota-logic/src/lib.rs crates/rota-logic/src/commitment.rs crates/rota-logic/src/formula.rs crates/rota-logic/src/model.rs crates/rota-logic/src/path.rs crates/rota-logic/src/planner.rs crates/rota-logic/src/schedule.rs crates/rota-logic/src/state.rs crates/rota-logic/src/theorems.rs crates/rota-logic/src/workflow.rs
+
+crates/rota-logic/src/lib.rs:
+crates/rota-logic/src/commitment.rs:
+crates/rota-logic/src/formula.rs:
+crates/rota-logic/src/model.rs:
+crates/rota-logic/src/path.rs:
+crates/rota-logic/src/planner.rs:
+crates/rota-logic/src/schedule.rs:
+crates/rota-logic/src/state.rs:
+crates/rota-logic/src/theorems.rs:
+crates/rota-logic/src/workflow.rs:

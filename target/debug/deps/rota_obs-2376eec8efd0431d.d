@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rota_obs-2376eec8efd0431d.d: crates/rota-obs/src/lib.rs crates/rota-obs/src/journal.rs crates/rota-obs/src/json.rs crates/rota-obs/src/metrics.rs crates/rota-obs/src/timing.rs
+
+/root/repo/target/debug/deps/librota_obs-2376eec8efd0431d.rlib: crates/rota-obs/src/lib.rs crates/rota-obs/src/journal.rs crates/rota-obs/src/json.rs crates/rota-obs/src/metrics.rs crates/rota-obs/src/timing.rs
+
+/root/repo/target/debug/deps/librota_obs-2376eec8efd0431d.rmeta: crates/rota-obs/src/lib.rs crates/rota-obs/src/journal.rs crates/rota-obs/src/json.rs crates/rota-obs/src/metrics.rs crates/rota-obs/src/timing.rs
+
+crates/rota-obs/src/lib.rs:
+crates/rota-obs/src/journal.rs:
+crates/rota-obs/src/json.rs:
+crates/rota-obs/src/metrics.rs:
+crates/rota-obs/src/timing.rs:

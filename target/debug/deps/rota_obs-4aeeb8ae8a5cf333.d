@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rota_obs-4aeeb8ae8a5cf333.d: crates/rota-obs/src/lib.rs crates/rota-obs/src/journal.rs crates/rota-obs/src/json.rs crates/rota-obs/src/metrics.rs crates/rota-obs/src/timing.rs
+
+/root/repo/target/debug/deps/rota_obs-4aeeb8ae8a5cf333: crates/rota-obs/src/lib.rs crates/rota-obs/src/journal.rs crates/rota-obs/src/json.rs crates/rota-obs/src/metrics.rs crates/rota-obs/src/timing.rs
+
+crates/rota-obs/src/lib.rs:
+crates/rota-obs/src/journal.rs:
+crates/rota-obs/src/json.rs:
+crates/rota-obs/src/metrics.rs:
+crates/rota-obs/src/timing.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rota_obs-beb949f607727110.d: crates/rota-obs/src/lib.rs crates/rota-obs/src/journal.rs crates/rota-obs/src/json.rs crates/rota-obs/src/metrics.rs crates/rota-obs/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/librota_obs-beb949f607727110.rmeta: crates/rota-obs/src/lib.rs crates/rota-obs/src/journal.rs crates/rota-obs/src/json.rs crates/rota-obs/src/metrics.rs crates/rota-obs/src/timing.rs Cargo.toml
+
+crates/rota-obs/src/lib.rs:
+crates/rota-obs/src/journal.rs:
+crates/rota-obs/src/json.rs:
+crates/rota-obs/src/metrics.rs:
+crates/rota-obs/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rota_resource-08468afac6c34b23.d: crates/rota-resource/src/lib.rs crates/rota-resource/src/located.rs crates/rota-resource/src/parse.rs crates/rota-resource/src/profile.rs crates/rota-resource/src/rate.rs crates/rota-resource/src/set.rs crates/rota-resource/src/term.rs Cargo.toml
+
+/root/repo/target/debug/deps/librota_resource-08468afac6c34b23.rmeta: crates/rota-resource/src/lib.rs crates/rota-resource/src/located.rs crates/rota-resource/src/parse.rs crates/rota-resource/src/profile.rs crates/rota-resource/src/rate.rs crates/rota-resource/src/set.rs crates/rota-resource/src/term.rs Cargo.toml
+
+crates/rota-resource/src/lib.rs:
+crates/rota-resource/src/located.rs:
+crates/rota-resource/src/parse.rs:
+crates/rota-resource/src/profile.rs:
+crates/rota-resource/src/rate.rs:
+crates/rota-resource/src/set.rs:
+crates/rota-resource/src/term.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rota_resource-1a2e169d2dc7e8c3.d: crates/rota-resource/src/lib.rs crates/rota-resource/src/located.rs crates/rota-resource/src/parse.rs crates/rota-resource/src/profile.rs crates/rota-resource/src/rate.rs crates/rota-resource/src/set.rs crates/rota-resource/src/term.rs
+
+/root/repo/target/debug/deps/librota_resource-1a2e169d2dc7e8c3.rlib: crates/rota-resource/src/lib.rs crates/rota-resource/src/located.rs crates/rota-resource/src/parse.rs crates/rota-resource/src/profile.rs crates/rota-resource/src/rate.rs crates/rota-resource/src/set.rs crates/rota-resource/src/term.rs
+
+/root/repo/target/debug/deps/librota_resource-1a2e169d2dc7e8c3.rmeta: crates/rota-resource/src/lib.rs crates/rota-resource/src/located.rs crates/rota-resource/src/parse.rs crates/rota-resource/src/profile.rs crates/rota-resource/src/rate.rs crates/rota-resource/src/set.rs crates/rota-resource/src/term.rs
+
+crates/rota-resource/src/lib.rs:
+crates/rota-resource/src/located.rs:
+crates/rota-resource/src/parse.rs:
+crates/rota-resource/src/profile.rs:
+crates/rota-resource/src/rate.rs:
+crates/rota-resource/src/set.rs:
+crates/rota-resource/src/term.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rota_resource-b82bc439f0a26e74.d: crates/rota-resource/src/lib.rs crates/rota-resource/src/located.rs crates/rota-resource/src/parse.rs crates/rota-resource/src/profile.rs crates/rota-resource/src/rate.rs crates/rota-resource/src/set.rs crates/rota-resource/src/term.rs
+
+/root/repo/target/debug/deps/rota_resource-b82bc439f0a26e74: crates/rota-resource/src/lib.rs crates/rota-resource/src/located.rs crates/rota-resource/src/parse.rs crates/rota-resource/src/profile.rs crates/rota-resource/src/rate.rs crates/rota-resource/src/set.rs crates/rota-resource/src/term.rs
+
+crates/rota-resource/src/lib.rs:
+crates/rota-resource/src/located.rs:
+crates/rota-resource/src/parse.rs:
+crates/rota-resource/src/profile.rs:
+crates/rota-resource/src/rate.rs:
+crates/rota-resource/src/set.rs:
+crates/rota-resource/src/term.rs:

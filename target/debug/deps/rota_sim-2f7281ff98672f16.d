@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rota_sim-2f7281ff98672f16.d: crates/rota-sim/src/lib.rs crates/rota-sim/src/event.rs crates/rota-sim/src/scenario.rs crates/rota-sim/src/sim.rs crates/rota-sim/src/trace.rs
+
+/root/repo/target/debug/deps/librota_sim-2f7281ff98672f16.rlib: crates/rota-sim/src/lib.rs crates/rota-sim/src/event.rs crates/rota-sim/src/scenario.rs crates/rota-sim/src/sim.rs crates/rota-sim/src/trace.rs
+
+/root/repo/target/debug/deps/librota_sim-2f7281ff98672f16.rmeta: crates/rota-sim/src/lib.rs crates/rota-sim/src/event.rs crates/rota-sim/src/scenario.rs crates/rota-sim/src/sim.rs crates/rota-sim/src/trace.rs
+
+crates/rota-sim/src/lib.rs:
+crates/rota-sim/src/event.rs:
+crates/rota-sim/src/scenario.rs:
+crates/rota-sim/src/sim.rs:
+crates/rota-sim/src/trace.rs:

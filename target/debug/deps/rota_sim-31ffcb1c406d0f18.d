@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rota_sim-31ffcb1c406d0f18.d: crates/rota-sim/src/lib.rs crates/rota-sim/src/event.rs crates/rota-sim/src/scenario.rs crates/rota-sim/src/sim.rs crates/rota-sim/src/trace.rs
+
+/root/repo/target/debug/deps/rota_sim-31ffcb1c406d0f18: crates/rota-sim/src/lib.rs crates/rota-sim/src/event.rs crates/rota-sim/src/scenario.rs crates/rota-sim/src/sim.rs crates/rota-sim/src/trace.rs
+
+crates/rota-sim/src/lib.rs:
+crates/rota-sim/src/event.rs:
+crates/rota-sim/src/scenario.rs:
+crates/rota-sim/src/sim.rs:
+crates/rota-sim/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rota_sim-46bd9009b3b2d79e.d: crates/rota-sim/src/lib.rs crates/rota-sim/src/event.rs crates/rota-sim/src/scenario.rs crates/rota-sim/src/sim.rs crates/rota-sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/librota_sim-46bd9009b3b2d79e.rmeta: crates/rota-sim/src/lib.rs crates/rota-sim/src/event.rs crates/rota-sim/src/scenario.rs crates/rota-sim/src/sim.rs crates/rota-sim/src/trace.rs Cargo.toml
+
+crates/rota-sim/src/lib.rs:
+crates/rota-sim/src/event.rs:
+crates/rota-sim/src/scenario.rs:
+crates/rota-sim/src/sim.rs:
+crates/rota-sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rota_workload-4d776703381dbd8d.d: crates/rota-workload/src/lib.rs crates/rota-workload/src/config.rs crates/rota-workload/src/generate.rs
+
+/root/repo/target/debug/deps/librota_workload-4d776703381dbd8d.rlib: crates/rota-workload/src/lib.rs crates/rota-workload/src/config.rs crates/rota-workload/src/generate.rs
+
+/root/repo/target/debug/deps/librota_workload-4d776703381dbd8d.rmeta: crates/rota-workload/src/lib.rs crates/rota-workload/src/config.rs crates/rota-workload/src/generate.rs
+
+crates/rota-workload/src/lib.rs:
+crates/rota-workload/src/config.rs:
+crates/rota-workload/src/generate.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rota_workload-8c0b6fcf82e62f9a.d: crates/rota-workload/src/lib.rs crates/rota-workload/src/config.rs crates/rota-workload/src/generate.rs
+
+/root/repo/target/debug/deps/rota_workload-8c0b6fcf82e62f9a: crates/rota-workload/src/lib.rs crates/rota-workload/src/config.rs crates/rota-workload/src/generate.rs
+
+crates/rota-workload/src/lib.rs:
+crates/rota-workload/src/config.rs:
+crates/rota-workload/src/generate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rota_workload-dd2b2a0d53dfa7cf.d: crates/rota-workload/src/lib.rs crates/rota-workload/src/config.rs crates/rota-workload/src/generate.rs
+
+/root/repo/target/debug/deps/librota_workload-dd2b2a0d53dfa7cf.rlib: crates/rota-workload/src/lib.rs crates/rota-workload/src/config.rs crates/rota-workload/src/generate.rs
+
+/root/repo/target/debug/deps/librota_workload-dd2b2a0d53dfa7cf.rmeta: crates/rota-workload/src/lib.rs crates/rota-workload/src/config.rs crates/rota-workload/src/generate.rs
+
+crates/rota-workload/src/lib.rs:
+crates/rota-workload/src/config.rs:
+crates/rota-workload/src/generate.rs:

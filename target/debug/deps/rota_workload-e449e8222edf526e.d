@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rota_workload-e449e8222edf526e.d: crates/rota-workload/src/lib.rs crates/rota-workload/src/config.rs crates/rota-workload/src/generate.rs
+
+/root/repo/target/debug/deps/librota_workload-e449e8222edf526e.rlib: crates/rota-workload/src/lib.rs crates/rota-workload/src/config.rs crates/rota-workload/src/generate.rs
+
+/root/repo/target/debug/deps/librota_workload-e449e8222edf526e.rmeta: crates/rota-workload/src/lib.rs crates/rota-workload/src/config.rs crates/rota-workload/src/generate.rs
+
+crates/rota-workload/src/lib.rs:
+crates/rota-workload/src/config.rs:
+crates/rota-workload/src/generate.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rota_workload-e6892a01f5b45140.d: crates/rota-workload/src/lib.rs crates/rota-workload/src/config.rs crates/rota-workload/src/generate.rs
+
+/root/repo/target/debug/deps/rota_workload-e6892a01f5b45140: crates/rota-workload/src/lib.rs crates/rota-workload/src/config.rs crates/rota-workload/src/generate.rs
+
+crates/rota-workload/src/lib.rs:
+crates/rota-workload/src/config.rs:
+crates/rota-workload/src/generate.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/stats-25b7f019efc54b30.d: crates/rota-cli/tests/stats.rs
+
+/root/repo/target/debug/deps/stats-25b7f019efc54b30: crates/rota-cli/tests/stats.rs
+
+crates/rota-cli/tests/stats.rs:
+
+# env-dep:CARGO_BIN_EXE_rota-cli=/root/repo/target/debug/rota-cli

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/stats-c2077219eb8dea4d.d: crates/rota-cli/tests/stats.rs
+
+/root/repo/target/debug/deps/stats-c2077219eb8dea4d: crates/rota-cli/tests/stats.rs
+
+crates/rota-cli/tests/stats.rs:
+
+# env-dep:CARGO_BIN_EXE_rota-cli=/root/repo/target/debug/rota-cli

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_model-050790b4301b4d00.d: tests/system_model.rs
+
+/root/repo/target/debug/deps/system_model-050790b4301b4d00: tests/system_model.rs
+
+tests/system_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_model-96f1508ddca675a2.d: tests/system_model.rs
+
+/root/repo/target/debug/deps/system_model-96f1508ddca675a2: tests/system_model.rs
+
+tests/system_model.rs:

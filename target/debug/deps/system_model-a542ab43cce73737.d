@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_model-a542ab43cce73737.d: tests/system_model.rs
+
+/root/repo/target/debug/deps/system_model-a542ab43cce73737: tests/system_model.rs
+
+tests/system_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cloud_admission-05641d76401742a5.d: examples/cloud_admission.rs
+
+/root/repo/target/debug/examples/cloud_admission-05641d76401742a5: examples/cloud_admission.rs
+
+examples/cloud_admission.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cloud_admission-689f65a91451b749.d: examples/cloud_admission.rs
+
+/root/repo/target/debug/examples/cloud_admission-689f65a91451b749: examples/cloud_admission.rs
+
+examples/cloud_admission.rs:

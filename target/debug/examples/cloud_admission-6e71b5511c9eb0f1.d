@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cloud_admission-6e71b5511c9eb0f1.d: examples/cloud_admission.rs
+
+/root/repo/target/debug/examples/cloud_admission-6e71b5511c9eb0f1: examples/cloud_admission.rs
+
+examples/cloud_admission.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deadline_reasoner-24d1d4bd930fd405.d: examples/deadline_reasoner.rs
+
+/root/repo/target/debug/examples/deadline_reasoner-24d1d4bd930fd405: examples/deadline_reasoner.rs
+
+examples/deadline_reasoner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deadline_reasoner-35904a65b58f54a1.d: examples/deadline_reasoner.rs
+
+/root/repo/target/debug/examples/deadline_reasoner-35904a65b58f54a1: examples/deadline_reasoner.rs
+
+examples/deadline_reasoner.rs:

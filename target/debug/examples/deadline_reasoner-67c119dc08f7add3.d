@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deadline_reasoner-67c119dc08f7add3.d: examples/deadline_reasoner.rs
+
+/root/repo/target/debug/examples/deadline_reasoner-67c119dc08f7add3: examples/deadline_reasoner.rs
+
+examples/deadline_reasoner.rs:

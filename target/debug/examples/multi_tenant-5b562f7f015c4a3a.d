@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_tenant-5b562f7f015c4a3a.d: examples/multi_tenant.rs
+
+/root/repo/target/debug/examples/multi_tenant-5b562f7f015c4a3a: examples/multi_tenant.rs
+
+examples/multi_tenant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_tenant-5fed9d914ce2328e.d: examples/multi_tenant.rs
+
+/root/repo/target/debug/examples/multi_tenant-5fed9d914ce2328e: examples/multi_tenant.rs
+
+examples/multi_tenant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_tenant-7e176907ed7f07af.d: examples/multi_tenant.rs
+
+/root/repo/target/debug/examples/multi_tenant-7e176907ed7f07af: examples/multi_tenant.rs
+
+examples/multi_tenant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/open_system_churn-5fabcae4cb08cc8d.d: examples/open_system_churn.rs
+
+/root/repo/target/debug/examples/open_system_churn-5fabcae4cb08cc8d: examples/open_system_churn.rs
+
+examples/open_system_churn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/open_system_churn-f76941accaf2f709.d: examples/open_system_churn.rs
+
+/root/repo/target/debug/examples/open_system_churn-f76941accaf2f709: examples/open_system_churn.rs
+
+examples/open_system_churn.rs:

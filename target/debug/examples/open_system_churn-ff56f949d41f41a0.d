@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/open_system_churn-ff56f949d41f41a0.d: examples/open_system_churn.rs
+
+/root/repo/target/debug/examples/open_system_churn-ff56f949d41f41a0: examples/open_system_churn.rs
+
+examples/open_system_churn.rs:

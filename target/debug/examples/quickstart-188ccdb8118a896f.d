@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-188ccdb8118a896f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-188ccdb8118a896f: examples/quickstart.rs
+
+examples/quickstart.rs:

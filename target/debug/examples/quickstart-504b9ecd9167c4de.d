@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-504b9ecd9167c4de.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-504b9ecd9167c4de: examples/quickstart.rs
+
+examples/quickstart.rs:

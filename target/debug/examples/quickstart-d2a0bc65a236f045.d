@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d2a0bc65a236f045.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d2a0bc65a236f045: examples/quickstart.rs
+
+examples/quickstart.rs:

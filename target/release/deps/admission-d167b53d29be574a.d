@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/admission-d167b53d29be574a.d: crates/rota-bench/benches/admission.rs
+
+/root/repo/target/release/deps/admission-d167b53d29be574a: crates/rota-bench/benches/admission.rs
+
+crates/rota-bench/benches/admission.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/encapsulation-7d825fe71dee2977.d: crates/rota-bench/benches/encapsulation.rs
+
+/root/repo/target/release/deps/encapsulation-7d825fe71dee2977: crates/rota-bench/benches/encapsulation.rs
+
+crates/rota-bench/benches/encapsulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-158dae92eb074a3f.d: crates/rota-bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-158dae92eb074a3f: crates/rota-bench/src/bin/figures.rs
+
+crates/rota-bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-1d3bbd696f2bb99c.d: crates/rota-bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-1d3bbd696f2bb99c: crates/rota-bench/src/bin/figures.rs
+
+crates/rota-bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-e6c09ef1f2a00708.d: crates/rota-bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-e6c09ef1f2a00708: crates/rota-bench/src/bin/figures.rs
+
+crates/rota-bench/src/bin/figures.rs:

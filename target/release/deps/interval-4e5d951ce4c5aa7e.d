@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/interval-4e5d951ce4c5aa7e.d: crates/rota-bench/benches/interval.rs
+
+/root/repo/target/release/deps/interval-4e5d951ce4c5aa7e: crates/rota-bench/benches/interval.rs
+
+crates/rota-bench/benches/interval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/logic-c95e77876f5e693d.d: crates/rota-bench/benches/logic.rs
+
+/root/repo/target/release/deps/logic-c95e77876f5e693d: crates/rota-bench/benches/logic.rs
+
+crates/rota-bench/benches/logic.rs:

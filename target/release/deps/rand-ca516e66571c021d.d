@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-ca516e66571c021d.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ca516e66571c021d.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ca516e66571c021d.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

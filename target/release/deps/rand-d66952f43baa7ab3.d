@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-d66952f43baa7ab3.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-d66952f43baa7ab3.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-d66952f43baa7ab3.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/resource_set-a5b8c86c55627f4b.d: crates/rota-bench/benches/resource_set.rs
+
+/root/repo/target/release/deps/resource_set-a5b8c86c55627f4b: crates/rota-bench/benches/resource_set.rs
+
+crates/rota-bench/benches/resource_set.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rota-18e080f40387bb55.d: src/lib.rs
+
+/root/repo/target/release/deps/librota-18e080f40387bb55.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librota-18e080f40387bb55.rmeta: src/lib.rs
+
+src/lib.rs:

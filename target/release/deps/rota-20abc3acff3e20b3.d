@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rota-20abc3acff3e20b3.d: src/lib.rs
+
+/root/repo/target/release/deps/librota-20abc3acff3e20b3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librota-20abc3acff3e20b3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rota-61ca778db755f684.d: src/lib.rs
+
+/root/repo/target/release/deps/librota-61ca778db755f684.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librota-61ca778db755f684.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rota_actor-586a8cdfaaeb96d3.d: crates/rota-actor/src/lib.rs crates/rota-actor/src/action.rs crates/rota-actor/src/computation.rs crates/rota-actor/src/cost.rs crates/rota-actor/src/demand.rs crates/rota-actor/src/requirement.rs crates/rota-actor/src/segment.rs
+
+/root/repo/target/release/deps/librota_actor-586a8cdfaaeb96d3.rlib: crates/rota-actor/src/lib.rs crates/rota-actor/src/action.rs crates/rota-actor/src/computation.rs crates/rota-actor/src/cost.rs crates/rota-actor/src/demand.rs crates/rota-actor/src/requirement.rs crates/rota-actor/src/segment.rs
+
+/root/repo/target/release/deps/librota_actor-586a8cdfaaeb96d3.rmeta: crates/rota-actor/src/lib.rs crates/rota-actor/src/action.rs crates/rota-actor/src/computation.rs crates/rota-actor/src/cost.rs crates/rota-actor/src/demand.rs crates/rota-actor/src/requirement.rs crates/rota-actor/src/segment.rs
+
+crates/rota-actor/src/lib.rs:
+crates/rota-actor/src/action.rs:
+crates/rota-actor/src/computation.rs:
+crates/rota-actor/src/cost.rs:
+crates/rota-actor/src/demand.rs:
+crates/rota-actor/src/requirement.rs:
+crates/rota-actor/src/segment.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rota_admission-62b1a5aa90234528.d: crates/rota-admission/src/lib.rs crates/rota-admission/src/controller.rs crates/rota-admission/src/policy.rs crates/rota-admission/src/request.rs
+
+/root/repo/target/release/deps/librota_admission-62b1a5aa90234528.rlib: crates/rota-admission/src/lib.rs crates/rota-admission/src/controller.rs crates/rota-admission/src/policy.rs crates/rota-admission/src/request.rs
+
+/root/repo/target/release/deps/librota_admission-62b1a5aa90234528.rmeta: crates/rota-admission/src/lib.rs crates/rota-admission/src/controller.rs crates/rota-admission/src/policy.rs crates/rota-admission/src/request.rs
+
+crates/rota-admission/src/lib.rs:
+crates/rota-admission/src/controller.rs:
+crates/rota-admission/src/policy.rs:
+crates/rota-admission/src/request.rs:

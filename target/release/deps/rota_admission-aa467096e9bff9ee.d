@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rota_admission-aa467096e9bff9ee.d: crates/rota-admission/src/lib.rs crates/rota-admission/src/controller.rs crates/rota-admission/src/obs.rs crates/rota-admission/src/policy.rs crates/rota-admission/src/request.rs
+
+/root/repo/target/release/deps/librota_admission-aa467096e9bff9ee.rlib: crates/rota-admission/src/lib.rs crates/rota-admission/src/controller.rs crates/rota-admission/src/obs.rs crates/rota-admission/src/policy.rs crates/rota-admission/src/request.rs
+
+/root/repo/target/release/deps/librota_admission-aa467096e9bff9ee.rmeta: crates/rota-admission/src/lib.rs crates/rota-admission/src/controller.rs crates/rota-admission/src/obs.rs crates/rota-admission/src/policy.rs crates/rota-admission/src/request.rs
+
+crates/rota-admission/src/lib.rs:
+crates/rota-admission/src/controller.rs:
+crates/rota-admission/src/obs.rs:
+crates/rota-admission/src/policy.rs:
+crates/rota-admission/src/request.rs:

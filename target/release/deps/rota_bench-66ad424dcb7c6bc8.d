@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rota_bench-66ad424dcb7c6bc8.d: crates/rota-bench/src/lib.rs
+
+/root/repo/target/release/deps/librota_bench-66ad424dcb7c6bc8.rlib: crates/rota-bench/src/lib.rs
+
+/root/repo/target/release/deps/librota_bench-66ad424dcb7c6bc8.rmeta: crates/rota-bench/src/lib.rs
+
+crates/rota-bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rota_bench-9ebbdb037f615733.d: crates/rota-bench/src/lib.rs
+
+/root/repo/target/release/deps/librota_bench-9ebbdb037f615733.rlib: crates/rota-bench/src/lib.rs
+
+/root/repo/target/release/deps/librota_bench-9ebbdb037f615733.rmeta: crates/rota-bench/src/lib.rs
+
+crates/rota-bench/src/lib.rs:

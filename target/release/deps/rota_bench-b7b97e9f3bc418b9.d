@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rota_bench-b7b97e9f3bc418b9.d: crates/rota-bench/src/lib.rs
+
+/root/repo/target/release/deps/rota_bench-b7b97e9f3bc418b9: crates/rota-bench/src/lib.rs
+
+crates/rota-bench/src/lib.rs:

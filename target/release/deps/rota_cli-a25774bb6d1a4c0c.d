@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rota_cli-a25774bb6d1a4c0c.d: crates/rota-cli/src/main.rs crates/rota-cli/src/formula.rs crates/rota-cli/src/spec.rs
+
+/root/repo/target/release/deps/rota_cli-a25774bb6d1a4c0c: crates/rota-cli/src/main.rs crates/rota-cli/src/formula.rs crates/rota-cli/src/spec.rs
+
+crates/rota-cli/src/main.rs:
+crates/rota-cli/src/formula.rs:
+crates/rota-cli/src/spec.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rota_cli-b3a0868da0f14b93.d: crates/rota-cli/src/main.rs crates/rota-cli/src/formula.rs crates/rota-cli/src/spec.rs
+
+/root/repo/target/release/deps/rota_cli-b3a0868da0f14b93: crates/rota-cli/src/main.rs crates/rota-cli/src/formula.rs crates/rota-cli/src/spec.rs
+
+crates/rota-cli/src/main.rs:
+crates/rota-cli/src/formula.rs:
+crates/rota-cli/src/spec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rota_cyberorgs-3ecdb56ad9a35d70.d: crates/rota-cyberorgs/src/lib.rs crates/rota-cyberorgs/src/hierarchy.rs crates/rota-cyberorgs/src/org.rs
+
+/root/repo/target/release/deps/librota_cyberorgs-3ecdb56ad9a35d70.rlib: crates/rota-cyberorgs/src/lib.rs crates/rota-cyberorgs/src/hierarchy.rs crates/rota-cyberorgs/src/org.rs
+
+/root/repo/target/release/deps/librota_cyberorgs-3ecdb56ad9a35d70.rmeta: crates/rota-cyberorgs/src/lib.rs crates/rota-cyberorgs/src/hierarchy.rs crates/rota-cyberorgs/src/org.rs
+
+crates/rota-cyberorgs/src/lib.rs:
+crates/rota-cyberorgs/src/hierarchy.rs:
+crates/rota-cyberorgs/src/org.rs:

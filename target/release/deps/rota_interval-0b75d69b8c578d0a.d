@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/rota_interval-0b75d69b8c578d0a.d: crates/rota-interval/src/lib.rs crates/rota-interval/src/compose.rs crates/rota-interval/src/interval.rs crates/rota-interval/src/network.rs crates/rota-interval/src/point.rs crates/rota-interval/src/relation.rs crates/rota-interval/src/relation_set.rs crates/rota-interval/src/set.rs crates/rota-interval/src/time.rs
+
+/root/repo/target/release/deps/librota_interval-0b75d69b8c578d0a.rlib: crates/rota-interval/src/lib.rs crates/rota-interval/src/compose.rs crates/rota-interval/src/interval.rs crates/rota-interval/src/network.rs crates/rota-interval/src/point.rs crates/rota-interval/src/relation.rs crates/rota-interval/src/relation_set.rs crates/rota-interval/src/set.rs crates/rota-interval/src/time.rs
+
+/root/repo/target/release/deps/librota_interval-0b75d69b8c578d0a.rmeta: crates/rota-interval/src/lib.rs crates/rota-interval/src/compose.rs crates/rota-interval/src/interval.rs crates/rota-interval/src/network.rs crates/rota-interval/src/point.rs crates/rota-interval/src/relation.rs crates/rota-interval/src/relation_set.rs crates/rota-interval/src/set.rs crates/rota-interval/src/time.rs
+
+crates/rota-interval/src/lib.rs:
+crates/rota-interval/src/compose.rs:
+crates/rota-interval/src/interval.rs:
+crates/rota-interval/src/network.rs:
+crates/rota-interval/src/point.rs:
+crates/rota-interval/src/relation.rs:
+crates/rota-interval/src/relation_set.rs:
+crates/rota-interval/src/set.rs:
+crates/rota-interval/src/time.rs:

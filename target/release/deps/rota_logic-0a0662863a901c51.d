@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/rota_logic-0a0662863a901c51.d: crates/rota-logic/src/lib.rs crates/rota-logic/src/commitment.rs crates/rota-logic/src/formula.rs crates/rota-logic/src/model.rs crates/rota-logic/src/path.rs crates/rota-logic/src/planner.rs crates/rota-logic/src/schedule.rs crates/rota-logic/src/state.rs crates/rota-logic/src/theorems.rs crates/rota-logic/src/workflow.rs
+
+/root/repo/target/release/deps/librota_logic-0a0662863a901c51.rlib: crates/rota-logic/src/lib.rs crates/rota-logic/src/commitment.rs crates/rota-logic/src/formula.rs crates/rota-logic/src/model.rs crates/rota-logic/src/path.rs crates/rota-logic/src/planner.rs crates/rota-logic/src/schedule.rs crates/rota-logic/src/state.rs crates/rota-logic/src/theorems.rs crates/rota-logic/src/workflow.rs
+
+/root/repo/target/release/deps/librota_logic-0a0662863a901c51.rmeta: crates/rota-logic/src/lib.rs crates/rota-logic/src/commitment.rs crates/rota-logic/src/formula.rs crates/rota-logic/src/model.rs crates/rota-logic/src/path.rs crates/rota-logic/src/planner.rs crates/rota-logic/src/schedule.rs crates/rota-logic/src/state.rs crates/rota-logic/src/theorems.rs crates/rota-logic/src/workflow.rs
+
+crates/rota-logic/src/lib.rs:
+crates/rota-logic/src/commitment.rs:
+crates/rota-logic/src/formula.rs:
+crates/rota-logic/src/model.rs:
+crates/rota-logic/src/path.rs:
+crates/rota-logic/src/planner.rs:
+crates/rota-logic/src/schedule.rs:
+crates/rota-logic/src/state.rs:
+crates/rota-logic/src/theorems.rs:
+crates/rota-logic/src/workflow.rs:

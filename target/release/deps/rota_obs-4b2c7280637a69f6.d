@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rota_obs-4b2c7280637a69f6.d: crates/rota-obs/src/lib.rs crates/rota-obs/src/journal.rs crates/rota-obs/src/json.rs crates/rota-obs/src/metrics.rs crates/rota-obs/src/timing.rs
+
+/root/repo/target/release/deps/librota_obs-4b2c7280637a69f6.rlib: crates/rota-obs/src/lib.rs crates/rota-obs/src/journal.rs crates/rota-obs/src/json.rs crates/rota-obs/src/metrics.rs crates/rota-obs/src/timing.rs
+
+/root/repo/target/release/deps/librota_obs-4b2c7280637a69f6.rmeta: crates/rota-obs/src/lib.rs crates/rota-obs/src/journal.rs crates/rota-obs/src/json.rs crates/rota-obs/src/metrics.rs crates/rota-obs/src/timing.rs
+
+crates/rota-obs/src/lib.rs:
+crates/rota-obs/src/journal.rs:
+crates/rota-obs/src/json.rs:
+crates/rota-obs/src/metrics.rs:
+crates/rota-obs/src/timing.rs:

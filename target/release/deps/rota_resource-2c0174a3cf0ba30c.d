@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rota_resource-2c0174a3cf0ba30c.d: crates/rota-resource/src/lib.rs crates/rota-resource/src/located.rs crates/rota-resource/src/parse.rs crates/rota-resource/src/profile.rs crates/rota-resource/src/rate.rs crates/rota-resource/src/set.rs crates/rota-resource/src/term.rs
+
+/root/repo/target/release/deps/librota_resource-2c0174a3cf0ba30c.rlib: crates/rota-resource/src/lib.rs crates/rota-resource/src/located.rs crates/rota-resource/src/parse.rs crates/rota-resource/src/profile.rs crates/rota-resource/src/rate.rs crates/rota-resource/src/set.rs crates/rota-resource/src/term.rs
+
+/root/repo/target/release/deps/librota_resource-2c0174a3cf0ba30c.rmeta: crates/rota-resource/src/lib.rs crates/rota-resource/src/located.rs crates/rota-resource/src/parse.rs crates/rota-resource/src/profile.rs crates/rota-resource/src/rate.rs crates/rota-resource/src/set.rs crates/rota-resource/src/term.rs
+
+crates/rota-resource/src/lib.rs:
+crates/rota-resource/src/located.rs:
+crates/rota-resource/src/parse.rs:
+crates/rota-resource/src/profile.rs:
+crates/rota-resource/src/rate.rs:
+crates/rota-resource/src/set.rs:
+crates/rota-resource/src/term.rs:

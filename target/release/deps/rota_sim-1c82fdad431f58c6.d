@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rota_sim-1c82fdad431f58c6.d: crates/rota-sim/src/lib.rs crates/rota-sim/src/event.rs crates/rota-sim/src/scenario.rs crates/rota-sim/src/sim.rs crates/rota-sim/src/trace.rs
+
+/root/repo/target/release/deps/librota_sim-1c82fdad431f58c6.rlib: crates/rota-sim/src/lib.rs crates/rota-sim/src/event.rs crates/rota-sim/src/scenario.rs crates/rota-sim/src/sim.rs crates/rota-sim/src/trace.rs
+
+/root/repo/target/release/deps/librota_sim-1c82fdad431f58c6.rmeta: crates/rota-sim/src/lib.rs crates/rota-sim/src/event.rs crates/rota-sim/src/scenario.rs crates/rota-sim/src/sim.rs crates/rota-sim/src/trace.rs
+
+crates/rota-sim/src/lib.rs:
+crates/rota-sim/src/event.rs:
+crates/rota-sim/src/scenario.rs:
+crates/rota-sim/src/sim.rs:
+crates/rota-sim/src/trace.rs:

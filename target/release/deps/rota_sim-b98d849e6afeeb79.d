@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rota_sim-b98d849e6afeeb79.d: crates/rota-sim/src/lib.rs crates/rota-sim/src/event.rs crates/rota-sim/src/scenario.rs crates/rota-sim/src/sim.rs crates/rota-sim/src/trace.rs
+
+/root/repo/target/release/deps/librota_sim-b98d849e6afeeb79.rlib: crates/rota-sim/src/lib.rs crates/rota-sim/src/event.rs crates/rota-sim/src/scenario.rs crates/rota-sim/src/sim.rs crates/rota-sim/src/trace.rs
+
+/root/repo/target/release/deps/librota_sim-b98d849e6afeeb79.rmeta: crates/rota-sim/src/lib.rs crates/rota-sim/src/event.rs crates/rota-sim/src/scenario.rs crates/rota-sim/src/sim.rs crates/rota-sim/src/trace.rs
+
+crates/rota-sim/src/lib.rs:
+crates/rota-sim/src/event.rs:
+crates/rota-sim/src/scenario.rs:
+crates/rota-sim/src/sim.rs:
+crates/rota-sim/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rota_workload-8d08002af46980a9.d: crates/rota-workload/src/lib.rs crates/rota-workload/src/config.rs crates/rota-workload/src/generate.rs
+
+/root/repo/target/release/deps/librota_workload-8d08002af46980a9.rlib: crates/rota-workload/src/lib.rs crates/rota-workload/src/config.rs crates/rota-workload/src/generate.rs
+
+/root/repo/target/release/deps/librota_workload-8d08002af46980a9.rmeta: crates/rota-workload/src/lib.rs crates/rota-workload/src/config.rs crates/rota-workload/src/generate.rs
+
+crates/rota-workload/src/lib.rs:
+crates/rota-workload/src/config.rs:
+crates/rota-workload/src/generate.rs:

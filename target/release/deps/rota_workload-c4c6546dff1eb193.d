@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rota_workload-c4c6546dff1eb193.d: crates/rota-workload/src/lib.rs crates/rota-workload/src/config.rs crates/rota-workload/src/generate.rs
+
+/root/repo/target/release/deps/librota_workload-c4c6546dff1eb193.rlib: crates/rota-workload/src/lib.rs crates/rota-workload/src/config.rs crates/rota-workload/src/generate.rs
+
+/root/repo/target/release/deps/librota_workload-c4c6546dff1eb193.rmeta: crates/rota-workload/src/lib.rs crates/rota-workload/src/config.rs crates/rota-workload/src/generate.rs
+
+crates/rota-workload/src/lib.rs:
+crates/rota-workload/src/config.rs:
+crates/rota-workload/src/generate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sequential-98addce30dc4eb72.d: crates/rota-bench/benches/sequential.rs
+
+/root/repo/target/release/deps/sequential-98addce30dc4eb72: crates/rota-bench/benches/sequential.rs
+
+crates/rota-bench/benches/sequential.rs:

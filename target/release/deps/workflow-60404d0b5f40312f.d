@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/workflow-60404d0b5f40312f.d: crates/rota-bench/benches/workflow.rs
+
+/root/repo/target/release/deps/workflow-60404d0b5f40312f: crates/rota-bench/benches/workflow.rs
+
+crates/rota-bench/benches/workflow.rs:
