@@ -7,19 +7,24 @@
 //!               [--policy rota|naive|optimistic|edf] [--churn P]
 //! rota compare  [--seed N] [--load X] [--nodes N] [--horizon T] [--shape …]
 //! rota stats    [--json] [--out <path>]
+//! rota serve    [--addr HOST:PORT] [--policy …] [--shards N] [--queue N]
+//! rota loadtest [--policy …|all] [--jobs N] [--connections N] [--nodes N]
 //! ```
 //!
-//! `check` reads a JSON system+computation spec (see `rota_cli::spec`)
-//! and prints the admission verdict with the schedule ROTA would pin the
-//! computation to. `simulate` and `compare` run seeded synthetic open
-//! -system workloads. `stats` runs an instrumented demo (admission under
-//! overload plus one model-check) and dumps the metrics registry and the
-//! decision journal. Every subcommand accepts `--metrics-out <path>` to
-//! write its run's metric snapshot and decisions as JSON.
+//! `check` reads a JSON system+computation spec (see
+//! `rota_server::spec`) and prints the admission verdict with the
+//! schedule ROTA would pin the computation to. `simulate` and `compare`
+//! run seeded synthetic open-system workloads. `stats` runs an
+//! instrumented demo (admission under overload plus one model-check)
+//! and dumps the metrics registry and the decision journal. `serve`
+//! runs the sharded TCP admission service; `loadtest` drives one with
+//! generated traffic and reports throughput/latency/acceptance. Every
+//! subcommand accepts `--metrics-out <path>` to write its run's metric
+//! snapshot and decisions as JSON.
 
 mod formula;
-mod spec;
 
+use std::net::SocketAddr;
 use std::process::ExitCode;
 
 use rota_actor::Granularity;
@@ -30,10 +35,11 @@ use rota_admission::{
 use rota_interval::TimePoint;
 use rota_logic::State;
 use rota_obs::{DecisionEvent, Json, Registry};
+use rota_client::{run_loadtest, Client, LoadtestConfig};
+use rota_server::spec::CheckSpec;
+use rota_server::{spawn_policy_by_name, ServerConfig, POLICY_NAMES};
 use rota_sim::{run_scenario_observed, run_scenario_traced_observed};
-use rota_workload::{build_scenario, JobShape, WorkloadConfig};
-
-use spec::CheckSpec;
+use rota_workload::{base_resources, build_scenario, JobShape, WorkloadConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +49,8 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args[1..], false),
         Some("compare") => cmd_simulate(&args[1..], true),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadtest") => cmd_loadtest(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -67,6 +75,11 @@ fn print_usage() {
     eprintln!("  rota holds <spec.json> --formula \"<formula>\" [--depth N]");
     eprintln!("  rota holds --resources \"[4]^(0,20)_cpu@l1; …\" --formula \"…\"");
     eprintln!("  rota stats    [--json] [--out <path>]");
+    eprintln!("  rota serve    [--addr HOST:PORT] [--policy rota|naive|optimistic|edf]");
+    eprintln!("                [--shards N] [--queue N] [--nodes N] [--horizon T] [--seed N]");
+    eprintln!("  rota loadtest [--policy rota|naive|optimistic|edf|all] [--nodes N]");
+    eprintln!("                [--jobs N] [--connections N] [--shape …] [--shards N]");
+    eprintln!("                [--queue N] [--horizon T] [--seed N] [--addr HOST:PORT]");
     eprintln!();
     eprintln!("Every subcommand also accepts --metrics-out <path> to dump its");
     eprintln!("metric snapshot and decision journal as JSON.");
@@ -578,6 +591,198 @@ fn cmd_stats(args: &[String]) -> ExitCode {
     }
     if !write_metrics_out(args, &registry, &decisions) {
         return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Workload + server knobs shared by `serve` and `loadtest`.
+/// Resources served are `base_resources` of this workload config, so a
+/// loadtest generated from the same flags targets exactly the capacity
+/// the server holds.
+fn service_workload(args: &[String], command: &str) -> Result<WorkloadConfig, ExitCode> {
+    let seed = flag(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7u64);
+    let nodes = flag(args, "--nodes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4usize);
+    let horizon = flag(args, "--horizon")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96u64);
+    let slack = flag(args, "--slack")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0f64);
+    let shape = match flag(args, "--shape").as_deref() {
+        Some("chain") => JobShape::Chain { evals: 3 },
+        Some("forkjoin") => JobShape::ForkJoin {
+            actors: 2,
+            evals_each: 2,
+        },
+        Some("pipeline") => JobShape::Pipeline { hops: 2 },
+        Some("mixed") | None => JobShape::Mixed,
+        Some(other) => {
+            eprintln!("{command}: unknown shape `{other}`");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    Ok(WorkloadConfig::new(seed)
+        .with_nodes(nodes)
+        .with_horizon(horizon)
+        .with_shape(shape)
+        .with_slack(slack))
+}
+
+fn server_config(args: &[String], addr: SocketAddr) -> ServerConfig {
+    let mut config = ServerConfig {
+        addr,
+        ..ServerConfig::default()
+    };
+    if let Some(shards) = flag(args, "--shards").and_then(|v| v.parse().ok()) {
+        config.shards = shards;
+    }
+    if let Some(queue) = flag(args, "--queue").and_then(|v| v.parse().ok()) {
+        config.queue_capacity = queue;
+    }
+    config
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let policy = flag(args, "--policy").unwrap_or_else(|| "rota".into());
+    let addr: SocketAddr = match flag(args, "--addr")
+        .unwrap_or_else(|| "127.0.0.1:7463".into())
+        .parse()
+    {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("serve: bad --addr: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let workload = match service_workload(args, "serve") {
+        Ok(w) => w,
+        Err(code) => return code,
+    };
+    let theta = base_resources(&workload);
+    let config = server_config(args, addr);
+    let shards = config.shards;
+    let queue = config.queue_capacity;
+    let handle = match spawn_policy_by_name(&policy, config, &theta) {
+        Some(Ok(handle)) => handle,
+        Some(Err(e)) => {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+        None => {
+            eprintln!(
+                "serve: unknown policy `{policy}` (expected one of {})",
+                POLICY_NAMES.join("|")
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "serving `{policy}` admission on {} — {} shards, queue {} each, {} resource terms over {} nodes",
+        handle.local_addr(),
+        shards,
+        queue,
+        theta.term_count(),
+        workload.nodes,
+    );
+    println!("send {{\"op\":\"shutdown\"}} (or drop the process) to stop; draining is graceful");
+    handle.wait();
+    println!("drained; bye");
+    ExitCode::SUCCESS
+}
+
+fn cmd_loadtest(args: &[String]) -> ExitCode {
+    let policy_flag = flag(args, "--policy").unwrap_or_else(|| "rota".into());
+    let policies: Vec<&str> = if policy_flag == "all" {
+        POLICY_NAMES.to_vec()
+    } else if POLICY_NAMES.contains(&policy_flag.as_str()) {
+        vec![policy_flag.as_str()]
+    } else {
+        eprintln!(
+            "loadtest: unknown policy `{policy_flag}` (expected one of {}|all)",
+            POLICY_NAMES.join("|")
+        );
+        return ExitCode::FAILURE;
+    };
+    let workload = match service_workload(args, "loadtest") {
+        Ok(w) => w,
+        Err(code) => return code,
+    };
+    let jobs = flag(args, "--jobs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400usize);
+    let connections = flag(args, "--connections")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4usize);
+    let granularity = match flag(args, "--granularity").as_deref() {
+        Some("per-action") => Granularity::PerAction,
+        Some("maximal-run") | None => Granularity::MaximalRun,
+        Some(other) => {
+            eprintln!("loadtest: unknown granularity `{other}`");
+            return ExitCode::FAILURE;
+        }
+    };
+    let external: Option<SocketAddr> = match flag(args, "--addr") {
+        Some(text) => match text.parse() {
+            Ok(addr) => Some(addr),
+            Err(e) => {
+                eprintln!("loadtest: bad --addr: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    if external.is_some() && policies.len() > 1 {
+        eprintln!("loadtest: --addr drives one external server; pick a single --policy");
+        return ExitCode::FAILURE;
+    }
+    let theta = base_resources(&workload);
+    for policy in policies {
+        // Spawn a fresh in-process server per policy unless the caller
+        // points us at an external one.
+        let handle = match external {
+            Some(_) => None,
+            None => {
+                let config = server_config(args, "127.0.0.1:0".parse().expect("static addr"));
+                match spawn_policy_by_name(policy, config, &theta) {
+                    Some(Ok(handle)) => Some(handle),
+                    Some(Err(e)) => {
+                        eprintln!("loadtest: cannot spawn server: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    None => unreachable!("policy validated above"),
+                }
+            }
+        };
+        let addr = external.unwrap_or_else(|| handle.as_ref().expect("spawned").local_addr());
+        let config = LoadtestConfig {
+            addr,
+            connections,
+            jobs,
+            workload: workload.clone(),
+            granularity,
+        };
+        let report = match run_loadtest(&config) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("loadtest: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", report.render(policy));
+        match Client::connect(addr).and_then(|mut c| c.stats()) {
+            Ok((stats, shards)) => println!(
+                "  server side  {} accepted / {} rejected across {} shard(s)\n",
+                stats.accepted, stats.rejected, shards
+            ),
+            Err(e) => println!("  server side  (stats unavailable: {e})\n"),
+        }
+        if let Some(handle) = handle {
+            handle.shutdown();
+        }
     }
     ExitCode::SUCCESS
 }

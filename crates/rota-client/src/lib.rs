@@ -1,0 +1,172 @@
+//! # rota-client — talk to a rota-server admission service
+//!
+//! A blocking [`Client`] over the newline-delimited JSON protocol of
+//! [`rota_server::protocol`], plus a multi-connection [`loadtest`]
+//! harness that drives a server with [`rota_workload`]-generated
+//! traffic and reports throughput, latency percentiles, and acceptance
+//! rates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loadtest;
+
+use std::fmt;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use rota_actor::{DistributedComputation, Granularity};
+use rota_admission::ControllerStats;
+use rota_obs::Json;
+use rota_server::protocol::{read_frame, write_frame, FrameError, Request, Response};
+use rota_server::spec::{computation_to_json, ComputationSpec, SpecError};
+
+pub use loadtest::{run_loadtest, LoadtestConfig, LoadtestReport};
+
+/// Anything that can go wrong on a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server closed the connection or sent an unreadable frame.
+    Frame(FrameError),
+    /// The frame was valid JSON but not a valid response document.
+    Spec(SpecError),
+    /// The server answered with an `error` response.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(err) => write!(f, "i/o error: {err}"),
+            ClientError::Frame(err) => write!(f, "frame error: {err}"),
+            ClientError::Spec(err) => write!(f, "bad response document: {err}"),
+            ClientError::Server(message) => write!(f, "server error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(err: std::io::Error) -> Self {
+        ClientError::Io(err)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(err: FrameError) -> Self {
+        ClientError::Frame(err)
+    }
+}
+
+impl From<SpecError> for ClientError {
+    fn from(err: SpecError) -> Self {
+        ClientError::Spec(err)
+    }
+}
+
+/// A blocking connection to a rota-server instance.
+///
+/// One request/response in flight at a time; reconnect by constructing
+/// a new client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
+        Client::wrap(TcpStream::connect(addr)?)
+    }
+
+    /// Connects with a bound on how long the dial may take.
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> Result<Client, ClientError> {
+        Client::wrap(TcpStream::connect_timeout(&addr, timeout)?)
+    }
+
+    fn wrap(stream: TcpStream) -> Result<Client, ClientError> {
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request frame and reads one response frame.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &request.to_json())?;
+        let line = read_frame(&mut self.reader, rota_server::MAX_FRAME_BYTES)?;
+        Ok(Response::from_line(&line)?)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Submits a computation for admission at the given granularity.
+    /// Returns the raw response — `decision` or `overloaded` are both
+    /// legitimate outcomes the caller must distinguish.
+    pub fn admit(
+        &mut self,
+        computation: &DistributedComputation,
+        granularity: Granularity,
+    ) -> Result<Response, ClientError> {
+        let spec = ComputationSpec::from_json(&computation_to_json(computation))?;
+        self.call(&Request::Admit {
+            computation: spec,
+            granularity,
+        })
+    }
+
+    /// Offers additional resources to the server.
+    pub fn offer(&mut self, theta: &rota_resource::ResourceSet) -> Result<u64, ClientError> {
+        let doc = rota_server::spec::resource_set_to_json(theta);
+        let specs = rota_server::spec::resources_from_json(
+            doc.as_array().unwrap_or(&[]),
+        )?;
+        match self.call(&Request::Offer { resources: specs })? {
+            Response::Offered { terms } => Ok(terms),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches aggregated controller statistics and the shard count.
+    pub fn stats(&mut self) -> Result<(ControllerStats, usize), ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats { stats, shards } => Ok((stats, shards)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches a metrics snapshot as a JSON document.
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { snapshot } => Ok(snapshot),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(response: &Response) -> ClientError {
+    match response {
+        Response::Error { message } => ClientError::Server(message.clone()),
+        other => ClientError::Server(format!("unexpected response: {:?}", other.to_json())),
+    }
+}

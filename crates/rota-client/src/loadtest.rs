@@ -1,0 +1,287 @@
+//! Multi-connection load-test harness for rota-server.
+//!
+//! Pre-generates a batch of [`rota_workload`] computations, fans them
+//! out over `connections` concurrent client connections, and reports
+//! throughput, latency percentiles, and the accept / reject /
+//! overloaded split. Overloaded answers are the server's explicit
+//! backpressure — the harness counts them instead of retrying, so a
+//! saturated server is visible in the report rather than smoothed over.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rota_actor::Granularity;
+use rota_server::protocol::{Request, Response};
+use rota_server::spec::{computation_to_json, ComputationSpec};
+use rota_workload::{generate_job, WorkloadConfig};
+
+use crate::{Client, ClientError};
+
+/// What to throw at the server.
+#[derive(Debug, Clone)]
+pub struct LoadtestConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Total jobs submitted across all connections.
+    pub jobs: usize,
+    /// Workload generator knobs (shape, nodes, slack, seed, …).
+    pub workload: WorkloadConfig,
+    /// Pricing granularity sent with each admit.
+    pub granularity: Granularity,
+}
+
+impl LoadtestConfig {
+    /// A small default battery against `addr`: 4 connections, 200 jobs.
+    pub fn new(addr: SocketAddr) -> Self {
+        LoadtestConfig {
+            addr,
+            connections: 4,
+            jobs: 200,
+            workload: WorkloadConfig::new(7),
+            granularity: Granularity::MaximalRun,
+        }
+    }
+}
+
+/// One submitted job's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Accepted,
+    Rejected,
+    Overloaded,
+    Error,
+}
+
+/// Aggregated results of one load-test run.
+#[derive(Debug, Clone)]
+pub struct LoadtestReport {
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs the server admitted.
+    pub accepted: usize,
+    /// Jobs the server refused (policy said no).
+    pub rejected: usize,
+    /// Jobs bounced with explicit backpressure (`overloaded`).
+    pub overloaded: usize,
+    /// Jobs that failed at the transport or protocol layer.
+    pub errors: usize,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Per-request round-trip latencies in nanoseconds, sorted.
+    pub latencies_ns: Vec<u64>,
+    /// First transport/protocol error observed, for diagnostics.
+    pub first_error: Option<String>,
+}
+
+impl LoadtestReport {
+    /// Completed requests per second (decisions + backpressure answers).
+    pub fn throughput_rps(&self) -> f64 {
+        let answered = (self.jobs - self.errors) as f64;
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            answered / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Latency at percentile `p` in `[0, 100]`, nanoseconds.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let rank = (p / 100.0 * (self.latencies_ns.len() - 1) as f64).round() as usize;
+        self.latencies_ns[rank.min(self.latencies_ns.len() - 1)]
+    }
+
+    /// Fraction of *decided* jobs (accept + reject) that were accepted.
+    pub fn acceptance_rate(&self) -> f64 {
+        let decided = self.accepted + self.rejected;
+        if decided > 0 {
+            self.accepted as f64 / decided as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render(&self, policy: &str) -> String {
+        let us = |ns: u64| ns as f64 / 1_000.0;
+        let mut out = String::new();
+        out.push_str(&format!("loadtest: policy={policy} jobs={}\n", self.jobs));
+        out.push_str(&format!(
+            "  outcomes     accepted={} rejected={} overloaded={} errors={}\n",
+            self.accepted, self.rejected, self.overloaded, self.errors
+        ));
+        out.push_str(&format!(
+            "  acceptance   {:.1}% of decided\n",
+            self.acceptance_rate() * 100.0
+        ));
+        out.push_str(&format!(
+            "  throughput   {:.0} req/s over {:.2}s\n",
+            self.throughput_rps(),
+            self.elapsed.as_secs_f64()
+        ));
+        out.push_str(&format!(
+            "  latency      p50={:.1}us p90={:.1}us p99={:.1}us max={:.1}us\n",
+            us(self.percentile_ns(50.0)),
+            us(self.percentile_ns(90.0)),
+            us(self.percentile_ns(99.0)),
+            us(self.latencies_ns.last().copied().unwrap_or(0)),
+        ));
+        if let Some(err) = &self.first_error {
+            out.push_str(&format!("  first error  {err}\n"));
+        }
+        out
+    }
+}
+
+/// Runs a load test against a live server.
+///
+/// Fails only if the batch cannot be prepared; per-request failures are
+/// tallied as `errors` in the report instead of aborting the run.
+pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, ClientError> {
+    let jobs = prepare_jobs(config)?;
+    let total = jobs.len();
+    let shared = Arc::new(jobs);
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let connections = config.connections.max(1);
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        let shared = Arc::clone(&shared);
+        let cursor = Arc::clone(&cursor);
+        let addr = config.addr;
+        handles.push(std::thread::spawn(move || {
+            worker(addr, &shared, &cursor)
+        }));
+    }
+    let mut outcomes = Vec::with_capacity(total);
+    for handle in handles {
+        outcomes.extend(handle.join().expect("loadtest worker panicked"));
+    }
+    let elapsed = started.elapsed();
+
+    let mut report = LoadtestReport {
+        jobs: total,
+        accepted: 0,
+        rejected: 0,
+        overloaded: 0,
+        errors: 0,
+        elapsed,
+        latencies_ns: Vec::with_capacity(outcomes.len()),
+        first_error: None,
+    };
+    for (outcome, ns, err) in outcomes {
+        match outcome {
+            Outcome::Accepted => report.accepted += 1,
+            Outcome::Rejected => report.rejected += 1,
+            Outcome::Overloaded => report.overloaded += 1,
+            Outcome::Error => {
+                report.errors += 1;
+                if report.first_error.is_none() {
+                    report.first_error = err;
+                }
+                continue;
+            }
+        }
+        report.latencies_ns.push(ns);
+    }
+    report.latencies_ns.sort_unstable();
+    Ok(report)
+}
+
+/// Draws the batch of computations and pre-encodes them as wire specs,
+/// so generation cost stays out of the measured window.
+fn prepare_jobs(
+    config: &LoadtestConfig,
+) -> Result<Vec<(ComputationSpec, Granularity)>, ClientError> {
+    let mut rng = StdRng::seed_from_u64(config.workload.seed);
+    let horizon = config.workload.horizon.max(4);
+    let mut jobs = Vec::with_capacity(config.jobs);
+    for i in 0..config.jobs {
+        // Spread arrivals over the front of the horizon so generated
+        // deadlines stay inside it.
+        let arrival = rng.gen_range(0..horizon / 2);
+        let computation = generate_job(&config.workload, &mut rng, &format!("lt{i}"), arrival);
+        let spec = ComputationSpec::from_json(&computation_to_json(&computation))?;
+        jobs.push((spec, config.granularity));
+    }
+    Ok(jobs)
+}
+
+type Sample = (Outcome, u64, Option<String>);
+
+fn worker(
+    addr: SocketAddr,
+    jobs: &[(ComputationSpec, Granularity)],
+    cursor: &AtomicUsize,
+) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    let mut client = match Client::connect_timeout(addr, Duration::from_secs(5)) {
+        Ok(client) => client,
+        Err(err) => {
+            // Connection refused: drain our share of the work as errors
+            // so the report still accounts for every job.
+            let mut first = Some(err.to_string());
+            while cursor.fetch_add(1, Ordering::Relaxed) < jobs.len() {
+                samples.push((Outcome::Error, 0, first.take()));
+            }
+            return samples;
+        }
+    };
+    loop {
+        let index = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some((spec, granularity)) = jobs.get(index) else {
+            break;
+        };
+        let request = Request::Admit {
+            computation: spec.clone(),
+            granularity: *granularity,
+        };
+        let start = Instant::now();
+        match client.call(&request) {
+            Ok(Response::Decision { accepted, .. }) => {
+                let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let outcome = if accepted {
+                    Outcome::Accepted
+                } else {
+                    Outcome::Rejected
+                };
+                samples.push((outcome, ns, None));
+            }
+            Ok(Response::Overloaded { .. }) => {
+                let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                samples.push((Outcome::Overloaded, ns, None));
+            }
+            Ok(other) => {
+                samples.push((
+                    Outcome::Error,
+                    0,
+                    Some(format!("unexpected response: {:?}", other.to_json())),
+                ));
+            }
+            Err(err) => {
+                samples.push((Outcome::Error, 0, Some(err.to_string())));
+                // The connection may be dead; try to re-establish once
+                // per failure so one hiccup doesn't doom the worker.
+                match Client::connect_timeout(addr, Duration::from_secs(5)) {
+                    Ok(fresh) => client = fresh,
+                    Err(_) => {
+                        let mut first = None;
+                        while cursor.fetch_add(1, Ordering::Relaxed) < jobs.len() {
+                            samples.push((Outcome::Error, 0, first.take()));
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    samples
+}

@@ -529,4 +529,55 @@ mod tests {
         assert_eq!(value.get("k").unwrap().as_u64(), Some(1));
         assert_eq!(value.as_object().unwrap().len(), 2);
     }
+
+    /// Every control character (and the named-escape quintet) must
+    /// survive encode → parse unchanged, and the encoded form must be
+    /// legal JSON with no raw control bytes — a frame containing an
+    /// embedded `\n` would otherwise split in two on the wire.
+    #[test]
+    fn control_characters_round_trip_escaped() {
+        let mut hostile = String::from("plain \"quoted\" back\\slash é😀");
+        for code in 0u32..0x20 {
+            hostile.push(char::from_u32(code).expect("control char"));
+        }
+        let value = Json::Str(hostile.clone());
+        let encoded = value.to_string();
+        assert!(
+            encoded.bytes().all(|b| b >= 0x20),
+            "raw control byte leaked into encoding: {encoded:?}"
+        );
+        assert_eq!(Json::parse(&encoded).unwrap(), value);
+        // Same guarantee when the hostile text sits in an object key.
+        let keyed = Json::Obj(vec![(hostile, Json::Null)]);
+        assert_eq!(Json::parse(&keyed.to_string()).unwrap(), keyed);
+    }
+
+    #[test]
+    fn named_escapes_are_used_for_common_controls() {
+        let encoded = Json::Str("\n\r\t\u{8}\u{c}".into()).to_string();
+        assert_eq!(encoded, r#""\n\r\t\b\f""#);
+        let encoded = Json::Str("\u{1}\u{1f}".into()).to_string();
+        assert_eq!(encoded, r#""\u0001\u001f""#);
+    }
+
+    #[test]
+    fn parser_rejects_raw_control_bytes_in_strings() {
+        assert!(Json::parse("\"a\nb\"").is_err());
+        assert!(Json::parse("\"a\u{1}b\"").is_err());
+        // …but accepts the escaped forms of the same text.
+        assert_eq!(
+            Json::parse(r#""a\nb\u0001c""#).unwrap(),
+            Json::Str("a\nb\u{1}c".into())
+        );
+    }
+
+    #[test]
+    fn surrogate_pairs_round_trip() {
+        let value = Json::Str("𝄞 clef and 🜚 gold".into());
+        assert_eq!(Json::parse(&value.to_string()).unwrap(), value);
+        assert_eq!(
+            Json::parse(r#""𝄞""#).unwrap(),
+            Json::Str("𝄞".into())
+        );
+    }
 }

@@ -1,0 +1,35 @@
+//! # rota-server — a concurrent deadline-admission service
+//!
+//! Exposes the ROTA admission check (paper Theorem 4: *can the system
+//! accommodate one more computation given its commitments?*) as a
+//! network service:
+//!
+//! - a newline-delimited JSON **wire protocol** over TCP
+//!   ([`protocol`]), zero external dependencies, with an enforced frame
+//!   size cap;
+//! - **sharded admission**: N worker threads, each owning an
+//!   [`AdmissionController`](rota_admission::AdmissionController) over
+//!   a disjoint, location-keyed slice of the resources ([`shard`]), so
+//!   shards never contend;
+//! - **bounded queues with explicit backpressure** — a full shard queue
+//!   answers `overloaded` instead of buffering without bound;
+//! - per-request timeouts, idle-connection reaping, and a **graceful
+//!   shutdown** that drains in-flight decisions ([`server`]);
+//! - observability through [`rota_obs`]: per-shard counters and
+//!   queue-depth gauges, decision-latency histograms, and a shared
+//!   journal of admit/reject events.
+//!
+//! The [`spec`] module is the JSON codec for resources and
+//! computations, shared with the `rota` CLI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod server;
+pub mod shard;
+pub mod spec;
+
+pub use protocol::{Request, Response, MAX_FRAME_BYTES};
+pub use server::{spawn_policy_by_name, Server, ServerConfig, ServerHandle, POLICY_NAMES};
+pub use shard::{route_request, shard_of, split_by_shard};

@@ -1,0 +1,687 @@
+//! The wire protocol: newline-delimited JSON frames over TCP.
+//!
+//! One request per line, one response line per request, in order. Every
+//! document is a single JSON object with an `"op"` discriminator;
+//! responses additionally carry `"ok"` so clients can branch without
+//! matching every op. Frames are capped at
+//! [`MAX_FRAME_BYTES`] (oversized frames are rejected *without* buffering
+//! the rest of the line), and the encoder never emits raw newlines —
+//! [`rota_obs::Json`] escapes control characters inside strings, which
+//! is what makes a line-delimited framing sound.
+//!
+//! Requests:
+//!
+//! | op | payload | response |
+//! |---|---|---|
+//! | `ping` | — | `pong` |
+//! | `admit` | `computation` (spec object), optional `granularity` | `decision` or `overloaded` |
+//! | `offer` | `resources` (spec array) | `offered` |
+//! | `stats` | — | `stats` (aggregated over shards) |
+//! | `metrics` | — | `metrics` (registry snapshot) |
+//! | `shutdown` | — | `bye`, then the server drains and stops |
+
+use std::io::{BufRead, Write};
+
+use rota_actor::Granularity;
+use rota_admission::ControllerStats;
+use rota_obs::Json;
+
+use crate::spec::{
+    computation_to_json, resources_from_json, ComputationSpec, Fields, ResourceSpec, SpecError,
+};
+
+/// Hard cap on one frame (request or response line), in bytes.
+///
+/// Large enough for thousand-action computations, small enough that a
+/// client cannot make a connection thread buffer without bound.
+pub const MAX_FRAME_BYTES: usize = 256 * 1024;
+
+/// A client → server request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Admission question: can the system accommodate this computation?
+    Admit {
+        /// The computation, in spec form (see [`crate::spec`]).
+        computation: ComputationSpec,
+        /// Segmentation granularity for pricing; defaults to
+        /// [`Granularity::MaximalRun`].
+        granularity: Granularity,
+    },
+    /// Offer new resources to the system (the acquisition rule).
+    Offer {
+        /// Resource terms, in spec form.
+        resources: Vec<ResourceSpec>,
+    },
+    /// Ask for aggregated controller statistics.
+    Stats,
+    /// Ask for a metrics-registry snapshot.
+    Metrics,
+    /// Request a graceful shutdown: drain queues, then stop.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes the request as a single-line JSON document.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Ping => op_obj("ping", vec![]),
+            Request::Admit {
+                computation,
+                granularity,
+            } => {
+                // Round-trip through the library type so the encoder
+                // stays the single source of the wire shape.
+                let lambda = computation.build();
+                let encoded = match lambda {
+                    Ok(lambda) => computation_to_json(&lambda),
+                    // An unbuildable spec still encodes structurally; the
+                    // server re-validates anyway.
+                    Err(_) => raw_computation_json(computation),
+                };
+                op_obj(
+                    "admit",
+                    vec![
+                        ("computation".into(), encoded),
+                        (
+                            "granularity".into(),
+                            Json::Str(granularity_name(*granularity).into()),
+                        ),
+                    ],
+                )
+            }
+            Request::Offer { resources } => {
+                let arr = resources.iter().map(raw_resource_json).collect();
+                op_obj("offer", vec![("resources".into(), Json::Arr(arr))])
+            }
+            Request::Stats => op_obj("stats", vec![]),
+            Request::Metrics => op_obj("metrics", vec![]),
+            Request::Shutdown => op_obj("shutdown", vec![]),
+        }
+    }
+
+    /// Decodes a request from its JSON document form.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Parse`] on unknown ops or schema violations.
+    pub fn from_json(doc: &Json) -> Result<Request, SpecError> {
+        let fields = Fields::of(doc, "request")?;
+        let op = fields.str("op")?;
+        match op.as_str() {
+            "ping" => {
+                fields.deny_unknown(&["op"])?;
+                Ok(Request::Ping)
+            }
+            "admit" => {
+                fields.deny_unknown(&["op", "computation", "granularity"])?;
+                let computation = ComputationSpec::from_json(fields.required("computation")?)?;
+                let granularity = match fields.optional("granularity").map(|g| g.as_str()) {
+                    None => Granularity::MaximalRun,
+                    Some(Some("maximal-run")) => Granularity::MaximalRun,
+                    Some(Some("per-action")) => Granularity::PerAction,
+                    Some(other) => {
+                        return Err(SpecError::Parse(format!(
+                            "request: unknown granularity {other:?}"
+                        )))
+                    }
+                };
+                Ok(Request::Admit {
+                    computation,
+                    granularity,
+                })
+            }
+            "offer" => {
+                fields.deny_unknown(&["op", "resources"])?;
+                Ok(Request::Offer {
+                    resources: resources_from_json(fields.array("resources")?)?,
+                })
+            }
+            "stats" => {
+                fields.deny_unknown(&["op"])?;
+                Ok(Request::Stats)
+            }
+            "metrics" => {
+                fields.deny_unknown(&["op"])?;
+                Ok(Request::Metrics)
+            }
+            "shutdown" => {
+                fields.deny_unknown(&["op"])?;
+                Ok(Request::Shutdown)
+            }
+            other => Err(SpecError::Parse(format!("request: unknown op `{other}`"))),
+        }
+    }
+
+    /// Parses a request from one frame (no trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Parse`] on malformed JSON or schema violations.
+    pub fn from_line(line: &str) -> Result<Request, SpecError> {
+        let doc = Json::parse(line).map_err(|e| SpecError::Parse(e.to_string()))?;
+        Request::from_json(&doc)
+    }
+}
+
+/// A server → client response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to `ping`.
+    Pong,
+    /// An admission verdict.
+    Decision {
+        /// The computation's identifying name.
+        computation: String,
+        /// Whether the request was admitted.
+        accepted: bool,
+        /// Which shard decided.
+        shard: usize,
+        /// Human-readable ground for the verdict.
+        reason: String,
+        /// For rejections: the violated resource term, when attributable.
+        violated_term: Option<String>,
+        /// For rejections: the failing theorem clause.
+        clause: Option<String>,
+    },
+    /// Reply to `offer`: how many terms were installed.
+    Offered {
+        /// Terms accepted into shard states.
+        terms: u64,
+    },
+    /// Aggregated controller statistics.
+    Stats {
+        /// Sum of every shard's counters.
+        stats: ControllerStats,
+        /// Number of shards serving.
+        shards: usize,
+    },
+    /// A metrics-registry snapshot, as rendered by
+    /// [`rota_obs::Snapshot::to_json`].
+    Metrics {
+        /// The snapshot object.
+        snapshot: Json,
+    },
+    /// Acknowledges `shutdown`; the server drains and stops after this.
+    Bye,
+    /// Explicit backpressure: the target shard's queue is full. The
+    /// request was **not** enqueued; retry later. This is the protocol's
+    /// `503`.
+    Overloaded {
+        /// The shard whose queue was full.
+        shard: usize,
+    },
+    /// The request failed (parse error, timeout, draining, …).
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Whether this response signals success (`"ok": true` on the wire).
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, Response::Overloaded { .. } | Response::Error { .. })
+    }
+
+    /// Serializes the response as a single-line JSON document.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Pong => ok_obj("pong", vec![]),
+            Response::Decision {
+                computation,
+                accepted,
+                shard,
+                reason,
+                violated_term,
+                clause,
+            } => ok_obj(
+                "decision",
+                vec![
+                    ("computation".into(), Json::Str(computation.clone())),
+                    ("accepted".into(), Json::Bool(*accepted)),
+                    ("shard".into(), Json::Num(*shard as f64)),
+                    ("reason".into(), Json::Str(reason.clone())),
+                    (
+                        "violated_term".into(),
+                        violated_term
+                            .as_ref()
+                            .map_or(Json::Null, |t| Json::Str(t.clone())),
+                    ),
+                    (
+                        "clause".into(),
+                        clause.as_ref().map_or(Json::Null, |c| Json::Str(c.clone())),
+                    ),
+                ],
+            ),
+            Response::Offered { terms } => {
+                ok_obj("offered", vec![("terms".into(), Json::Num(*terms as f64))])
+            }
+            Response::Stats { stats, shards } => ok_obj(
+                "stats",
+                vec![
+                    ("accepted".into(), Json::Num(stats.accepted as f64)),
+                    ("rejected".into(), Json::Num(stats.rejected as f64)),
+                    ("completed".into(), Json::Num(stats.completed as f64)),
+                    ("missed".into(), Json::Num(stats.missed as f64)),
+                    ("withdrawn".into(), Json::Num(stats.withdrawn as f64)),
+                    ("shards".into(), Json::Num(*shards as f64)),
+                ],
+            ),
+            Response::Metrics { snapshot } => {
+                ok_obj("metrics", vec![("metrics".into(), snapshot.clone())])
+            }
+            Response::Bye => ok_obj("bye", vec![]),
+            Response::Overloaded { shard } => Json::Obj(vec![
+                ("ok".into(), Json::Bool(false)),
+                ("op".into(), Json::Str("overloaded".into())),
+                ("shard".into(), Json::Num(*shard as f64)),
+            ]),
+            Response::Error { message } => Json::Obj(vec![
+                ("ok".into(), Json::Bool(false)),
+                ("op".into(), Json::Str("error".into())),
+                ("error".into(), Json::Str(message.clone())),
+            ]),
+        }
+    }
+
+    /// Decodes a response from its JSON document form.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Parse`] on unknown ops or schema violations.
+    pub fn from_json(doc: &Json) -> Result<Response, SpecError> {
+        let fields = Fields::of(doc, "response")?;
+        let op = fields.str("op")?;
+        match op.as_str() {
+            "pong" => Ok(Response::Pong),
+            "decision" => Ok(Response::Decision {
+                computation: fields.str("computation")?,
+                accepted: fields
+                    .required("accepted")?
+                    .as_bool()
+                    .ok_or_else(|| SpecError::Parse("response: `accepted` must be a bool".into()))?,
+                shard: fields.u64("shard")? as usize,
+                reason: fields.str("reason")?,
+                violated_term: opt_str(&fields, "violated_term")?,
+                clause: opt_str(&fields, "clause")?,
+            }),
+            "offered" => Ok(Response::Offered {
+                terms: fields.u64("terms")?,
+            }),
+            "stats" => Ok(Response::Stats {
+                stats: ControllerStats {
+                    accepted: fields.u64("accepted")?,
+                    rejected: fields.u64("rejected")?,
+                    completed: fields.u64("completed")?,
+                    missed: fields.u64("missed")?,
+                    withdrawn: fields.u64("withdrawn")?,
+                },
+                shards: fields.u64("shards")? as usize,
+            }),
+            "metrics" => Ok(Response::Metrics {
+                snapshot: fields.required("metrics")?.clone(),
+            }),
+            "bye" => Ok(Response::Bye),
+            "overloaded" => Ok(Response::Overloaded {
+                shard: fields.u64("shard")? as usize,
+            }),
+            "error" => Ok(Response::Error {
+                message: fields.str("error")?,
+            }),
+            other => Err(SpecError::Parse(format!("response: unknown op `{other}`"))),
+        }
+    }
+
+    /// Parses a response from one frame (no trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Parse`] on malformed JSON or schema violations.
+    pub fn from_line(line: &str) -> Result<Response, SpecError> {
+        let doc = Json::parse(line).map_err(|e| SpecError::Parse(e.to_string()))?;
+        Response::from_json(&doc)
+    }
+}
+
+fn opt_str(fields: &Fields<'_>, key: &str) -> Result<Option<String>, SpecError> {
+    match fields.optional(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_str().map(|s| Some(s.to_string())).ok_or_else(|| {
+            SpecError::Parse(format!("response: `{key}` must be a string or null"))
+        }),
+    }
+}
+
+fn op_obj(op: &str, mut rest: Vec<(String, Json)>) -> Json {
+    let mut pairs = vec![("op".to_string(), Json::Str(op.into()))];
+    pairs.append(&mut rest);
+    Json::Obj(pairs)
+}
+
+fn ok_obj(op: &str, mut rest: Vec<(String, Json)>) -> Json {
+    let mut pairs = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("op".to_string(), Json::Str(op.into())),
+    ];
+    pairs.append(&mut rest);
+    Json::Obj(pairs)
+}
+
+/// The spec's wire name for a granularity.
+pub fn granularity_name(granularity: Granularity) -> &'static str {
+    match granularity {
+        Granularity::MaximalRun => "maximal-run",
+        Granularity::PerAction => "per-action",
+    }
+}
+
+fn raw_computation_json(spec: &ComputationSpec) -> Json {
+    let actors = spec
+        .actors
+        .iter()
+        .map(|a| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(a.name.clone())),
+                ("origin".into(), Json::Str(a.origin.clone())),
+                ("actions".into(), Json::Arr(vec![])),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("name".into(), Json::Str(spec.name.clone())),
+        ("start".into(), Json::Num(spec.start as f64)),
+        ("deadline".into(), Json::Num(spec.deadline as f64)),
+        ("actors".into(), Json::Arr(actors)),
+    ])
+}
+
+fn raw_resource_json(spec: &ResourceSpec) -> Json {
+    match spec {
+        ResourceSpec::Cpu {
+            location,
+            rate,
+            start,
+            end,
+        }
+        | ResourceSpec::Memory {
+            location,
+            rate,
+            start,
+            end,
+        } => Json::Obj(vec![
+            (
+                "kind".into(),
+                Json::Str(
+                    if matches!(spec, ResourceSpec::Cpu { .. }) {
+                        "cpu"
+                    } else {
+                        "memory"
+                    }
+                    .into(),
+                ),
+            ),
+            ("location".into(), Json::Str(location.clone())),
+            ("rate".into(), Json::Num(*rate as f64)),
+            ("start".into(), Json::Num(*start as f64)),
+            ("end".into(), Json::Num(*end as f64)),
+        ]),
+        ResourceSpec::Network {
+            from,
+            to,
+            rate,
+            start,
+            end,
+        } => Json::Obj(vec![
+            ("kind".into(), Json::Str("network".into())),
+            ("from".into(), Json::Str(from.clone())),
+            ("to".into(), Json::Str(to.clone())),
+            ("rate".into(), Json::Num(*rate as f64)),
+            ("start".into(), Json::Num(*start as f64)),
+            ("end".into(), Json::Num(*end as f64)),
+        ]),
+    }
+}
+
+/// Reading one frame failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection (clean EOF at a frame boundary).
+    Closed,
+    /// The frame exceeded [`MAX_FRAME_BYTES`].
+    TooLarge {
+        /// Bytes seen before giving up.
+        seen: usize,
+    },
+    /// An I/O error (including read timeouts, surfaced as
+    /// [`std::io::ErrorKind::WouldBlock`] / `TimedOut`).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::TooLarge { seen } => {
+                write!(f, "frame exceeds {MAX_FRAME_BYTES} bytes (saw {seen})")
+            }
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Reads one newline-terminated frame, enforcing the size cap without
+/// buffering past it.
+///
+/// Works over the reader's internal buffer (`fill_buf`) so a frame that
+/// blows the cap is detected as soon as `max_bytes` bytes have arrived,
+/// not after the attacker finishes the line.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] at clean EOF before any byte,
+/// [`FrameError::TooLarge`] past `max_bytes`, [`FrameError::Io`]
+/// otherwise.
+pub fn read_frame<R: BufRead>(reader: &mut R, max_bytes: usize) -> Result<String, FrameError> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok([]) if buf.is_empty() => return Err(FrameError::Closed),
+            Ok([]) => return Err(FrameError::Io(std::io::Error::other("eof mid-frame"))),
+            Ok(bytes) => bytes,
+            Err(e) => return Err(FrameError::Io(e)),
+        };
+        let (chunk, done) = match available.iter().position(|&b| b == b'\n') {
+            Some(idx) => (&available[..idx], true),
+            None => (available, false),
+        };
+        if buf.len() + chunk.len() > max_bytes {
+            let seen = buf.len() + chunk.len();
+            let consumed = available.len().min(max_bytes + 1);
+            reader.consume(consumed);
+            return Err(FrameError::TooLarge { seen });
+        }
+        buf.extend_from_slice(chunk);
+        let consumed = chunk.len() + usize::from(done);
+        reader.consume(consumed);
+        if done {
+            let line = String::from_utf8(buf)
+                .map_err(|e| FrameError::Io(std::io::Error::other(e.to_string())))?;
+            return Ok(line);
+        }
+    }
+}
+
+/// Writes one value as a frame: compact JSON plus `\n`, flushed.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_frame<W: Write>(writer: &mut W, doc: &Json) -> std::io::Result<()> {
+    let mut line = doc.to_string();
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn simple_ops_round_trip() {
+        for request in [
+            Request::Ping,
+            Request::Stats,
+            Request::Metrics,
+            Request::Shutdown,
+        ] {
+            let line = request.to_json().to_string();
+            let back = Request::from_line(&line).unwrap();
+            assert_eq!(
+                std::mem::discriminant(&request),
+                std::mem::discriminant(&back)
+            );
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let samples = vec![
+            Response::Pong,
+            Response::Decision {
+                computation: "job\nwith \"quotes\"".into(),
+                accepted: false,
+                shard: 3,
+                reason: "segment 0 short".into(),
+                violated_term: Some("cpu[0,8) short by 2".into()),
+                clause: Some("Theorem 4: segment feasibility".into()),
+            },
+            Response::Offered { terms: 4 },
+            Response::Stats {
+                stats: ControllerStats {
+                    accepted: 10,
+                    rejected: 3,
+                    completed: 9,
+                    missed: 0,
+                    withdrawn: 1,
+                },
+                shards: 4,
+            },
+            Response::Bye,
+            Response::Overloaded { shard: 1 },
+            Response::Error {
+                message: "per-request timeout".into(),
+            },
+        ];
+        for response in samples {
+            let line = response.to_json().to_string();
+            assert!(!line.contains('\n'), "frames must be single lines: {line}");
+            let back = Response::from_line(&line).unwrap();
+            assert_eq!(response, back, "round-trip through {line}");
+        }
+    }
+
+    #[test]
+    fn ok_flag_matches_variant() {
+        assert!(Response::Pong.is_ok());
+        assert!(!Response::Overloaded { shard: 0 }.is_ok());
+        assert!(!Response::Error { message: "x".into() }.is_ok());
+    }
+
+    #[test]
+    fn unknown_op_and_malformed_frames_are_rejected() {
+        assert!(Request::from_line("{\"op\":\"fly\"}").is_err());
+        assert!(Request::from_line("{\"op\":\"ping\",\"extra\":1}").is_err());
+        assert!(Request::from_line("not json").is_err());
+        assert!(Request::from_line("").is_err());
+        assert!(Response::from_line("{\"ok\":true}").is_err());
+    }
+
+    #[test]
+    fn read_frame_splits_lines_and_detects_close() {
+        let data = b"{\"op\":\"ping\"}\n{\"op\":\"stats\"}\n";
+        let mut reader = BufReader::new(&data[..]);
+        assert_eq!(read_frame(&mut reader, 1024).unwrap(), "{\"op\":\"ping\"}");
+        assert_eq!(read_frame(&mut reader, 1024).unwrap(), "{\"op\":\"stats\"}");
+        assert!(matches!(
+            read_frame(&mut reader, 1024),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn read_frame_enforces_cap_before_line_end() {
+        // A "line" far larger than the cap, never newline-terminated
+        // within the first chunk: must fail fast, not buffer it all.
+        let big = vec![b'x'; 4096];
+        let mut reader = BufReader::new(&big[..]);
+        assert!(matches!(
+            read_frame(&mut reader, 64),
+            Err(FrameError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn admit_request_round_trips_with_granularity() {
+        let computation = crate::spec::ComputationSpec {
+            name: "j".into(),
+            start: 0,
+            deadline: 10,
+            actors: vec![crate::spec::ActorSpec {
+                name: "a".into(),
+                origin: "l1".into(),
+                actions: vec![
+                    crate::spec::ActionSpec::Evaluate { work: Some(3) },
+                    crate::spec::ActionSpec::Ready,
+                ],
+            }],
+        };
+        let request = Request::Admit {
+            computation,
+            granularity: Granularity::PerAction,
+        };
+        let line = request.to_json().to_string();
+        match Request::from_line(&line).unwrap() {
+            Request::Admit {
+                computation,
+                granularity,
+            } => {
+                assert_eq!(computation.name, "j");
+                assert_eq!(granularity, Granularity::PerAction);
+                assert_eq!(computation.actors[0].actions.len(), 2);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn offer_request_round_trips() {
+        let request = Request::Offer {
+            resources: vec![
+                crate::spec::ResourceSpec::Cpu {
+                    location: "l1".into(),
+                    rate: 4,
+                    start: 0,
+                    end: 8,
+                },
+                crate::spec::ResourceSpec::Network {
+                    from: "l1".into(),
+                    to: "l2".into(),
+                    rate: 2,
+                    start: 0,
+                    end: 8,
+                },
+            ],
+        };
+        let line = request.to_json().to_string();
+        match Request::from_line(&line).unwrap() {
+            Request::Offer { resources } => assert_eq!(resources.len(), 2),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+}

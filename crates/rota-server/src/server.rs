@@ -1,0 +1,372 @@
+//! The TCP admission service: accept loop, connection handling,
+//! timeouts, and graceful shutdown.
+//!
+//! One acceptor thread plus one thread per connection; admission work
+//! itself happens on the shard workers (see [`crate::shard`]). The
+//! server is an *admission oracle*: controllers stay at logical time
+//! zero and answer "can the system accommodate one more computation
+//! given its commitments?" for a stream of requests.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rota_actor::TableCostModel;
+use rota_admission::{
+    AdmissionPolicy, AdmissionRequest, GreedyEdfPolicy, NaiveTotalPolicy, OptimisticPolicy, RotaPolicy,
+};
+use rota_obs::{DecisionEvent, Journal, Registry};
+use rota_resource::ResourceSet;
+
+use crate::protocol::{read_frame, write_frame, FrameError, Request, Response, MAX_FRAME_BYTES};
+use crate::shard::ShardPool;
+use crate::spec;
+
+/// Tuning knobs for [`Server::spawn`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: SocketAddr,
+    /// Number of shard workers (each owns a disjoint resource slice).
+    pub shards: usize,
+    /// Bounded queue depth per shard; a full queue answers `overloaded`.
+    pub queue_capacity: usize,
+    /// Largest accepted request frame, in bytes.
+    pub max_frame_bytes: usize,
+    /// How long a connection waits for a shard verdict.
+    pub request_timeout: Duration,
+    /// Connections silent for this long are reaped.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".parse().expect("static addr"),
+            shards: 4,
+            queue_capacity: 64,
+            max_frame_bytes: MAX_FRAME_BYTES,
+            request_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Config bound to an ephemeral localhost port (for tests/loadtests).
+    pub fn ephemeral() -> Self {
+        ServerConfig::default()
+    }
+}
+
+struct Inner {
+    pool: RwLock<Option<ShardPool>>,
+    shutting_down: AtomicBool,
+    registry: Arc<Registry>,
+    journal: Arc<Journal<DecisionEvent>>,
+    cost_model: TableCostModel,
+    config: ServerConfig,
+}
+
+impl Inner {
+    fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Ping => Response::Pong,
+            Request::Metrics => Response::Metrics {
+                snapshot: self.registry.snapshot().to_json(),
+            },
+            Request::Admit {
+                computation,
+                granularity,
+            } => {
+                let computation = match computation.build() {
+                    Ok(computation) => computation,
+                    Err(err) => {
+                        return Response::Error {
+                            message: format!("bad computation: {err}"),
+                        }
+                    }
+                };
+                let priced = AdmissionRequest::price(computation, &self.cost_model, granularity);
+                self.with_pool(|pool| pool.admit(priced, self.config.request_timeout))
+            }
+            Request::Offer { resources } => match spec::resource_set(&resources) {
+                Ok(theta) => {
+                    self.with_pool(move |pool| pool.offer(theta, self.config.request_timeout))
+                }
+                Err(err) => Response::Error {
+                    message: format!("bad resources: {err}"),
+                },
+            },
+            Request::Stats => self.with_pool(|pool| pool.stats(self.config.request_timeout)),
+            Request::Shutdown => Response::Bye,
+        }
+    }
+
+    fn with_pool(&self, f: impl FnOnce(&ShardPool) -> Response) -> Response {
+        let guard = self.pool.read().expect("pool lock");
+        match guard.as_ref() {
+            Some(pool) => f(pool),
+            None => Response::Error {
+                message: "server is draining".into(),
+            },
+        }
+    }
+}
+
+/// A running admission service; dropping the handle shuts it down.
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    local_addr: SocketAddr,
+    acceptor: Mutex<Option<JoinHandle<()>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The metrics registry shared by acceptor, connections, and shards.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.inner.registry)
+    }
+
+    /// The shared journal of admit/reject decision events.
+    pub fn journal(&self) -> Arc<Journal<DecisionEvent>> {
+        Arc::clone(&self.inner.journal)
+    }
+
+    /// Blocks until a shutdown has been requested (e.g. by a client's
+    /// `shutdown` verb), then completes it. Lets `rota serve` park its
+    /// main thread while still draining cleanly at the end.
+    pub fn wait(&self) {
+        while !self.inner.shutting_down.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        self.shutdown();
+    }
+
+    /// Starts a graceful shutdown: stop accepting, close the shard
+    /// queues so workers drain in-flight decisions, then return once
+    /// every shard worker and the acceptor have exited.
+    pub fn shutdown(&self) {
+        if !self.inner.shutting_down.swap(true, Ordering::SeqCst) {
+            // Dropping the pool drops every shard sender: workers finish
+            // the requests already queued, then exit.
+            self.inner.pool.write().expect("pool lock").take();
+        }
+        // The acceptor blocks in accept(); poke it awake so it can see
+        // the flag even if the flag was raised by a protocol `shutdown`
+        // verb. Connect errors just mean it already exited.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(250));
+        if let Some(handle) = self.acceptor.lock().expect("acceptor lock").take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.lock().expect("workers lock").drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The admission service.
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr` and serves `policy` over the resources
+    /// `theta`, returning once the listener is live.
+    pub fn spawn<P>(
+        config: ServerConfig,
+        policy: P,
+        theta: &ResourceSet,
+    ) -> std::io::Result<ServerHandle>
+    where
+        P: AdmissionPolicy + Clone + Send + 'static,
+    {
+        let listener = TcpListener::bind(config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let registry = Arc::new(Registry::new());
+        let journal = Arc::new(Journal::new(4096));
+        let (pool, worker_handles) = ShardPool::spawn(
+            policy,
+            theta,
+            config.shards,
+            config.queue_capacity,
+            &registry,
+            &journal,
+        );
+        let inner = Arc::new(Inner {
+            pool: RwLock::new(Some(pool)),
+            shutting_down: AtomicBool::new(false),
+            registry,
+            journal,
+            cost_model: TableCostModel::paper(),
+            config,
+        });
+        let acceptor_inner = Arc::clone(&inner);
+        let acceptor = std::thread::Builder::new()
+            .name("rota-acceptor".into())
+            .spawn(move || accept_loop(&listener, &acceptor_inner))?;
+        Ok(ServerHandle {
+            inner,
+            local_addr,
+            acceptor: Mutex::new(Some(acceptor)),
+            workers: Mutex::new(worker_handles),
+        })
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    let connections = inner.registry.gauge("server.connections");
+    let accepted = inner.registry.counter("server.connections.accepted");
+    while !inner.shutting_down.load(Ordering::SeqCst) {
+        let (stream, _peer) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => continue,
+        };
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        accepted.inc();
+        connections.add(1);
+        let conn_inner = Arc::clone(inner);
+        let conn_gauge = Arc::clone(&connections);
+        let _ = std::thread::Builder::new()
+            .name("rota-conn".into())
+            .spawn(move || {
+                serve_connection(stream, &conn_inner);
+                conn_gauge.add(-1);
+            });
+    }
+}
+
+fn serve_connection(stream: TcpStream, inner: &Arc<Inner>) {
+    let malformed = inner.registry.counter("server.frames.malformed");
+    let oversized = inner.registry.counter("server.frames.oversized");
+    let reaped = inner.registry.counter("server.connections.idle_reaped");
+    // Short read timeouts let us notice both idle expiry and shutdown
+    // without a dedicated watchdog thread.
+    let poll = Duration::from_millis(100).min(inner.config.idle_timeout);
+    if stream.set_read_timeout(Some(poll)).is_err() {
+        return;
+    }
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    let mut last_activity = Instant::now();
+    loop {
+        let line = match read_frame(&mut reader, inner.config.max_frame_bytes) {
+            Ok(line) => line,
+            Err(FrameError::Closed) => return,
+            Err(FrameError::TooLarge { seen }) => {
+                oversized.inc();
+                let _ = write_frame(
+                    &mut writer,
+                    &Response::Error {
+                        message: format!(
+                            "frame exceeds {} bytes (got at least {seen})",
+                            inner.config.max_frame_bytes
+                        ),
+                    }
+                    .to_json(),
+                );
+                shutdown_stream(&mut writer);
+                return;
+            }
+            Err(FrameError::Io(err))
+                if err.kind() == std::io::ErrorKind::WouldBlock
+                    || err.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if inner.shutting_down.load(Ordering::SeqCst) {
+                    shutdown_stream(&mut writer);
+                    return;
+                }
+                if last_activity.elapsed() >= inner.config.idle_timeout {
+                    reaped.inc();
+                    let _ = write_frame(
+                        &mut writer,
+                        &Response::Error {
+                            message: "idle timeout".into(),
+                        }
+                        .to_json(),
+                    );
+                    shutdown_stream(&mut writer);
+                    return;
+                }
+                continue;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+        last_activity = Instant::now();
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, bye) = match Request::from_line(&line) {
+            Ok(request) => {
+                let bye = matches!(request, Request::Shutdown);
+                (inner.handle(request), bye)
+            }
+            Err(err) => {
+                malformed.inc();
+                (
+                    Response::Error {
+                        message: err.to_string(),
+                    },
+                    false,
+                )
+            }
+        };
+        if write_frame(&mut writer, &response.to_json()).is_err() {
+            return;
+        }
+        if bye {
+            inner_begin_shutdown(inner);
+            shutdown_stream(&mut writer);
+            return;
+        }
+    }
+}
+
+fn shutdown_stream(writer: &mut BufWriter<TcpStream>) {
+    let _ = writer.flush();
+    let _ = writer.get_ref().shutdown(Shutdown::Both);
+}
+
+/// Out-of-band shutdown trigger used by the `shutdown` protocol verb
+/// (the [`ServerHandle`] still joins the threads).
+fn inner_begin_shutdown(inner: &Arc<Inner>) {
+    if inner.shutting_down.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    inner.pool.write().expect("pool lock").take();
+}
+
+/// Names accepted by [`spawn_policy_by_name`].
+pub const POLICY_NAMES: [&str; 4] = ["rota", "naive", "optimistic", "edf"];
+
+/// Spawns a server running the named policy; `None` for unknown names.
+pub fn spawn_policy_by_name(
+    name: &str,
+    config: ServerConfig,
+    theta: &ResourceSet,
+) -> Option<std::io::Result<ServerHandle>> {
+    match name {
+        "rota" => Some(Server::spawn(config, RotaPolicy, theta)),
+        "naive" => Some(Server::spawn(config, NaiveTotalPolicy, theta)),
+        "optimistic" => Some(Server::spawn(config, OptimisticPolicy, theta)),
+        "edf" => Some(Server::spawn(config, GreedyEdfPolicy, theta)),
+        _ => None,
+    }
+}

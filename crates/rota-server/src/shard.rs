@@ -1,0 +1,475 @@
+//! Sharded admission: N worker threads, each owning its own
+//! [`AdmissionController`] over a disjoint slice of the system's
+//! resources, fed by bounded queues.
+//!
+//! Sharding is by *location*: every location (and thus every resource
+//! term and every computation, keyed by its first actor's origin) is
+//! owned by exactly one shard, chosen by a stable hash. Shards never
+//! share state, so workers never contend — the queue is the only
+//! synchronization point. The cost of that isolation is honesty about
+//! multi-location computations: a request is decided against its home
+//! shard's resources only, so a computation spanning locations owned by
+//! different shards may be rejected where a monolithic controller would
+//! admit it (see DESIGN.md).
+//!
+//! Queues are bounded ([`std::sync::mpsc::sync_channel`]); when a
+//! shard's queue is full the submitting connection gets
+//! [`Response::Overloaded`] immediately instead of the server buffering
+//! without bound.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rota_admission::{
+    AdmissionController, AdmissionObs, AdmissionPolicy, AdmissionRequest, ControllerStats, Decision,
+};
+use rota_interval::TimePoint;
+use rota_obs::{Counter, DecisionEvent, Gauge, Histogram, Journal, Registry};
+use rota_resource::{Location, ResourceSet};
+
+use crate::protocol::Response;
+
+/// Stable location → shard routing: FNV-1a over the location name.
+///
+/// Deterministic across runs and processes, so clients, tests, and
+/// operators can predict placement.
+pub fn shard_of(location: &Location, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in location.name().bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % shards as u64) as usize
+}
+
+/// Splits a resource set into per-shard subsets by each term's first
+/// location (a link belongs to its source node's shard).
+pub fn split_by_shard(theta: &ResourceSet, shards: usize) -> Vec<ResourceSet> {
+    let mut parts: Vec<Vec<rota_resource::ResourceTerm>> = vec![Vec::new(); shards.max(1)];
+    for term in theta.to_terms() {
+        let shard = shard_of(term.located().locations()[0], shards.max(1));
+        parts[shard].push(term);
+    }
+    parts
+        .into_iter()
+        .map(|terms| {
+            ResourceSet::from_terms(terms).expect("subset of a valid set remains valid")
+        })
+        .collect()
+}
+
+/// The shard a request is routed to: its first actor's origin location,
+/// or shard 0 for actor-less computations.
+pub fn route_request(request: &AdmissionRequest, shards: usize) -> usize {
+    request
+        .computation()
+        .actors()
+        .first()
+        .map_or(0, |gamma| shard_of(gamma.origin(), shards))
+}
+
+pub(crate) enum ShardMsg {
+    Admit {
+        request: Box<AdmissionRequest>,
+        enqueued: Instant,
+        reply: SyncSender<Response>,
+    },
+    Offer {
+        theta: ResourceSet,
+        reply: SyncSender<Result<u64, String>>,
+    },
+    Stats {
+        reply: SyncSender<ControllerStats>,
+    },
+}
+
+struct ShardObs {
+    requests: Arc<Counter>,
+    overloaded: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    request_ns: Arc<Histogram>,
+}
+
+impl ShardObs {
+    fn new(registry: &Registry, shard: usize) -> Self {
+        ShardObs {
+            requests: registry.counter(&format!("server.requests{{shard={shard}}}")),
+            overloaded: registry.counter(&format!("server.overloaded{{shard={shard}}}")),
+            queue_depth: registry.gauge(&format!("server.queue_depth{{shard={shard}}}")),
+            request_ns: registry.histogram(
+                &format!("server.request_ns{{shard={shard}}}"),
+                Histogram::latency_ns_bounds(),
+            ),
+        }
+    }
+}
+
+/// A pool of shard workers behind bounded queues.
+///
+/// Dropping the pool closes every queue; workers drain what was already
+/// enqueued and exit — that, plus joining the handles returned by
+/// [`ShardPool::spawn`], is the graceful-drain path.
+pub(crate) struct ShardPool {
+    senders: Vec<SyncSender<ShardMsg>>,
+    obs: Vec<Arc<ShardObs>>,
+}
+
+impl ShardPool {
+    /// Spawns `shards` workers, each owning a controller over its slice
+    /// of `theta`, all journaling into `journal` and counting into
+    /// `registry` (admission metrics labeled by `policy`, server metrics
+    /// by shard).
+    pub(crate) fn spawn<P>(
+        policy: P,
+        theta: &ResourceSet,
+        shards: usize,
+        queue_capacity: usize,
+        registry: &Arc<Registry>,
+        journal: &Arc<Journal<DecisionEvent>>,
+    ) -> (ShardPool, Vec<JoinHandle<()>>)
+    where
+        P: AdmissionPolicy + Clone + Send + 'static,
+    {
+        let shards = shards.max(1);
+        let slices = split_by_shard(theta, shards);
+        let mut senders = Vec::with_capacity(shards);
+        let mut obs = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for (shard, slice) in slices.into_iter().enumerate() {
+            let (tx, rx) = sync_channel::<ShardMsg>(queue_capacity.max(1));
+            let shard_obs = Arc::new(ShardObs::new(registry, shard));
+            let controller = AdmissionController::new(policy.clone(), slice, TimePoint::ZERO)
+                .with_obs(
+                    AdmissionObs::new(registry, policy.name()).with_journal(Arc::clone(journal)),
+                );
+            let worker_obs = Arc::clone(&shard_obs);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rota-shard-{shard}"))
+                    .spawn(move || shard_worker(shard, controller, rx, worker_obs))
+                    .expect("spawn shard worker"),
+            );
+            senders.push(tx);
+            obs.push(shard_obs);
+        }
+        (ShardPool { senders, obs }, handles)
+    }
+
+    pub(crate) fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Routes and enqueues one admission request, waiting up to
+    /// `timeout` for the verdict. Returns [`Response::Overloaded`] when
+    /// the shard's queue is full and an error response on timeout.
+    pub(crate) fn admit(&self, request: AdmissionRequest, timeout: Duration) -> Response {
+        let shard = route_request(&request, self.shards());
+        let obs = &self.obs[shard];
+        obs.requests.inc();
+        let (reply_tx, reply_rx) = sync_channel::<Response>(1);
+        let msg = ShardMsg::Admit {
+            request: Box::new(request),
+            enqueued: Instant::now(),
+            reply: reply_tx,
+        };
+        match self.senders[shard].try_send(msg) {
+            Ok(()) => obs.queue_depth.add(1),
+            Err(TrySendError::Full(_)) => {
+                obs.overloaded.inc();
+                return Response::Overloaded { shard };
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                return Response::Error {
+                    message: "server is draining".into(),
+                }
+            }
+        }
+        match reply_rx.recv_timeout(timeout) {
+            Ok(response) => response,
+            Err(_) => Response::Error {
+                message: format!("request timed out after {}ms", timeout.as_millis()),
+            },
+        }
+    }
+
+    /// Splits an offered resource set across shards and installs each
+    /// slice, waiting up to `timeout` per shard.
+    pub(crate) fn offer(&self, theta: ResourceSet, timeout: Duration) -> Response {
+        let mut installed = 0u64;
+        for (shard, slice) in split_by_shard(&theta, self.shards()).into_iter().enumerate() {
+            if slice.is_empty() {
+                continue;
+            }
+            let terms = slice.term_count() as u64;
+            let (reply_tx, reply_rx) = sync_channel::<Result<u64, String>>(1);
+            let msg = ShardMsg::Offer {
+                theta: slice,
+                reply: reply_tx,
+            };
+            // Offers are rare control-plane traffic: block (with a bound)
+            // rather than 503 on a momentarily full queue.
+            if self.senders[shard].send_timeout_compat(msg, timeout).is_err() {
+                return Response::Error {
+                    message: format!("shard {shard} rejected the offer (draining or stuck)"),
+                };
+            }
+            self.obs[shard].queue_depth.add(1);
+            match reply_rx.recv_timeout(timeout) {
+                Ok(Ok(_)) => installed += terms,
+                Ok(Err(message)) => return Response::Error { message },
+                Err(_) => {
+                    return Response::Error {
+                        message: format!("offer to shard {shard} timed out"),
+                    }
+                }
+            }
+        }
+        Response::Offered { terms: installed }
+    }
+
+    /// Aggregates every shard's controller statistics.
+    pub(crate) fn stats(&self, timeout: Duration) -> Response {
+        let mut receivers = Vec::with_capacity(self.shards());
+        for (shard, tx) in self.senders.iter().enumerate() {
+            let (reply_tx, reply_rx) = sync_channel::<ControllerStats>(1);
+            if tx
+                .send_timeout_compat(ShardMsg::Stats { reply: reply_tx }, timeout)
+                .is_err()
+            {
+                return Response::Error {
+                    message: format!("shard {shard} unavailable"),
+                };
+            }
+            self.obs[shard].queue_depth.add(1);
+            receivers.push(reply_rx);
+        }
+        let mut total = ControllerStats::default();
+        for (shard, rx) in receivers.into_iter().enumerate() {
+            match rx.recv_timeout(timeout) {
+                Ok(stats) => {
+                    total.accepted += stats.accepted;
+                    total.rejected += stats.rejected;
+                    total.completed += stats.completed;
+                    total.missed += stats.missed;
+                    total.withdrawn += stats.withdrawn;
+                }
+                Err(_) => {
+                    return Response::Error {
+                        message: format!("stats from shard {shard} timed out"),
+                    }
+                }
+            }
+        }
+        Response::Stats {
+            stats: total,
+            shards: self.shards(),
+        }
+    }
+}
+
+/// `SyncSender::send` with a deadline, built from `try_send` + park —
+/// std's `send_timeout` is unstable.
+trait SendTimeoutCompat<T> {
+    fn send_timeout_compat(&self, msg: T, timeout: Duration) -> Result<(), ()>;
+}
+
+impl<T> SendTimeoutCompat<T> for SyncSender<T> {
+    fn send_timeout_compat(&self, mut msg: T, timeout: Duration) -> Result<(), ()> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.try_send(msg) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Disconnected(_)) => return Err(()),
+                Err(TrySendError::Full(back)) => {
+                    if Instant::now() >= deadline {
+                        return Err(());
+                    }
+                    msg = back;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+    }
+}
+
+fn shard_worker<P: AdmissionPolicy>(
+    shard: usize,
+    mut controller: AdmissionController<P>,
+    rx: Receiver<ShardMsg>,
+    obs: Arc<ShardObs>,
+) {
+    // Runs until every sender is gone (server drop/drain), serving what
+    // was already enqueued — the drain guarantee.
+    while let Ok(msg) = rx.recv() {
+        obs.queue_depth.add(-1);
+        match msg {
+            ShardMsg::Admit {
+                request,
+                enqueued,
+                reply,
+            } => {
+                let decision = controller.submit(&request);
+                obs.request_ns.observe(
+                    u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                );
+                let response = decision_response(&request, &decision, shard);
+                // The waiter may have timed out and hung up; that's fine.
+                let _ = reply.try_send(response);
+            }
+            ShardMsg::Offer { theta, reply } => {
+                let result = controller
+                    .offer_resources(theta)
+                    .map(|()| 0)
+                    .map_err(|e| e.to_string());
+                let _ = reply.try_send(result);
+            }
+            ShardMsg::Stats { reply } => {
+                let _ = reply.try_send(controller.stats());
+            }
+        }
+    }
+}
+
+fn decision_response(request: &AdmissionRequest, decision: &Decision, shard: usize) -> Response {
+    match decision {
+        Decision::Accept(commitments) => Response::Decision {
+            computation: request.name().to_string(),
+            accepted: true,
+            shard,
+            reason: format!("{} commitment(s) scheduled", commitments.len()),
+            violated_term: None,
+            clause: None,
+        },
+        Decision::Reject(reject) => Response::Decision {
+            computation: request.name().to_string(),
+            accepted: false,
+            shard,
+            reason: reject.to_string(),
+            violated_term: reject.violated_term().map(str::to_string),
+            clause: Some(reject.clause().to_string()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rota_actor::{ActionKind, ActorComputation, DistributedComputation, Granularity, TableCostModel};
+    use rota_admission::RotaPolicy;
+    use rota_interval::TimeInterval;
+    use rota_resource::{LocatedType, Rate, ResourceTerm};
+
+    fn theta_at(locations: &[&str], rate: u64, end: u64) -> ResourceSet {
+        ResourceSet::from_terms(locations.iter().map(|l| {
+            ResourceTerm::new(
+                Rate::new(rate),
+                TimeInterval::from_ticks(0, end).unwrap(),
+                LocatedType::cpu(Location::new(l)),
+            )
+        }))
+        .unwrap()
+    }
+
+    fn request_at(name: &str, location: &str, evals: usize, deadline: u64) -> AdmissionRequest {
+        let mut gamma = ActorComputation::new(format!("{name}-a"), location);
+        for _ in 0..evals {
+            gamma.push(ActionKind::evaluate());
+        }
+        AdmissionRequest::price(
+            DistributedComputation::single(name, gamma, TimePoint::ZERO, TimePoint::new(deadline))
+                .unwrap(),
+            &TableCostModel::paper(),
+            Granularity::MaximalRun,
+        )
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for shards in [1usize, 2, 3, 8] {
+            for name in ["l0", "l1", "l2", "node-west-17"] {
+                let a = shard_of(&Location::new(name), shards);
+                let b = shard_of(&Location::new(name), shards);
+                assert_eq!(a, b);
+                assert!(a < shards);
+            }
+        }
+    }
+
+    #[test]
+    fn split_assigns_every_term_to_its_location_shard() {
+        let theta = theta_at(&["l0", "l1", "l2", "l3"], 4, 16);
+        let parts = split_by_shard(&theta, 3);
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(ResourceSet::term_count).sum();
+        assert_eq!(total, 4);
+        for (shard, part) in parts.iter().enumerate() {
+            for term in part.to_terms() {
+                assert_eq!(shard_of(term.located().locations()[0], 3), shard);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_admits_and_aggregates_stats() {
+        let registry = Arc::new(Registry::new());
+        let journal = Arc::new(Journal::new(64));
+        let theta = theta_at(&["l0", "l1"], 4, 16);
+        let (pool, handles) =
+            ShardPool::spawn(RotaPolicy, &theta, 2, 8, &registry, &journal);
+        let timeout = Duration::from_secs(5);
+        // Feasible job at l0, infeasible (too much work) job at l1.
+        let yes = pool.admit(request_at("yes", "l0", 1, 16), timeout);
+        let no = pool.admit(request_at("no", "l1", 64, 16), timeout);
+        assert!(matches!(yes, Response::Decision { accepted: true, .. }), "{yes:?}");
+        assert!(matches!(no, Response::Decision { accepted: false, .. }), "{no:?}");
+        match pool.stats(timeout) {
+            Response::Stats { stats, shards } => {
+                assert_eq!(shards, 2);
+                assert_eq!(stats.accepted, 1);
+                assert_eq!(stats.rejected, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(journal.len(), 2, "both verdicts journaled");
+        drop(pool);
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let snap = registry.snapshot();
+        let routed: u64 = (0..2)
+            .map(|s| snap.counter(&format!("server.requests{{shard={s}}}")).unwrap())
+            .sum();
+        assert_eq!(routed, 2);
+    }
+
+    #[test]
+    fn offer_reaches_the_owning_shard() {
+        let registry = Arc::new(Registry::new());
+        let journal = Arc::new(Journal::new(8));
+        let (pool, handles) = ShardPool::spawn(
+            RotaPolicy,
+            &ResourceSet::new(),
+            2,
+            4,
+            &registry,
+            &journal,
+        );
+        let timeout = Duration::from_secs(5);
+        // Without resources the job is refused; after an offer it fits.
+        let before = pool.admit(request_at("j", "l0", 1, 16), timeout);
+        assert!(matches!(before, Response::Decision { accepted: false, .. }));
+        match pool.offer(theta_at(&["l0"], 4, 16), timeout) {
+            Response::Offered { terms } => assert_eq!(terms, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        let after = pool.admit(request_at("j2", "l0", 1, 16), timeout);
+        assert!(matches!(after, Response::Decision { accepted: true, .. }), "{after:?}");
+        drop(pool);
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,738 @@
+//! The JSON specification format for systems and computations — the
+//! serialization boundary between the wire / files on disk and the
+//! library types.
+//!
+//! This module used to live in `rota-cli`; it moved here when the wire
+//! protocol ([`crate::protocol`]) started carrying the same shapes, so
+//! the CLI's `check` spec reader and the server's `admit`/`offer`
+//! decoder share one strict codec. Decoding is hand-rolled over
+//! [`rota_obs::Json`] (the build is offline, so there is no serde; see
+//! `shims/README.md`) and is strict like a `deny_unknown_fields` serde
+//! derive: unknown or duplicate keys, missing fields, and wrong types
+//! are all [`SpecError::Parse`] errors naming the offending field.
+//! Encoding ([`computation_to_json`], [`resource_set_to_json`]) produces
+//! exactly the documents the decoder accepts, so requests round-trip.
+//!
+//! A spec file describes a system's resource terms and one
+//! deadline-constrained computation:
+//!
+//! ```json
+//! {
+//!   "resources": [
+//!     { "kind": "cpu", "location": "l1", "rate": 4, "start": 0, "end": 20 },
+//!     { "kind": "network", "from": "l1", "to": "l2", "rate": 4, "start": 0, "end": 20 }
+//!   ],
+//!   "computation": {
+//!     "name": "report-job",
+//!     "start": 0,
+//!     "deadline": 20,
+//!     "actors": [
+//!       { "name": "worker", "origin": "l1", "actions": [
+//!         { "do": "evaluate" },
+//!         { "do": "evaluate", "work": 12 },
+//!         { "do": "send", "to": "collector", "dest": "l2" },
+//!         { "do": "create", "child": "helper" },
+//!         { "do": "ready" },
+//!         { "do": "migrate", "dest": "l2" }
+//!       ] }
+//!     ]
+//!   }
+//! }
+//! ```
+
+use rota_actor::{ActionKind, ActorComputation, DistributedComputation};
+use rota_interval::{TimeInterval, TimePoint};
+use rota_obs::Json;
+use rota_resource::{
+    LocatedType, Location, NodeResourceKind, Quantity, Rate, ResourceSet, ResourceTerm,
+};
+
+/// A resource term in the spec file.
+#[derive(Debug, Clone)]
+pub enum ResourceSpec {
+    /// `⟨cpu, location⟩` at `rate` over `[start, end)`.
+    Cpu {
+        /// Node name.
+        location: String,
+        /// Units per tick.
+        rate: u64,
+        /// Inclusive start tick.
+        start: u64,
+        /// Exclusive end tick.
+        end: u64,
+    },
+    /// `⟨memory, location⟩` at `rate` over `[start, end)`.
+    Memory {
+        /// Node name.
+        location: String,
+        /// Units per tick.
+        rate: u64,
+        /// Inclusive start tick.
+        start: u64,
+        /// Exclusive end tick.
+        end: u64,
+    },
+    /// `⟨network, from→to⟩` at `rate` over `[start, end)`.
+    Network {
+        /// Source node.
+        from: String,
+        /// Destination node.
+        to: String,
+        /// Units per tick.
+        rate: u64,
+        /// Inclusive start tick.
+        start: u64,
+        /// Exclusive end tick.
+        end: u64,
+    },
+}
+
+/// An action in the spec file.
+#[derive(Debug, Clone)]
+pub enum ActionSpec {
+    /// `evaluate(e)`; optional explicit `work` CPU units.
+    Evaluate {
+        /// Optional explicit CPU amount.
+        work: Option<u64>,
+    },
+    /// `send(to, m)` where `to` resides at `dest`.
+    Send {
+        /// Recipient actor name.
+        to: String,
+        /// Recipient's location.
+        dest: String,
+        /// Message size factor (default 1).
+        size: u64,
+    },
+    /// `create(child)`.
+    Create {
+        /// Child actor name.
+        child: String,
+    },
+    /// `ready(b)`.
+    Ready,
+    /// `migrate(dest)`.
+    Migrate {
+        /// Destination location.
+        dest: String,
+    },
+}
+
+/// One actor's computation in the spec file.
+#[derive(Debug, Clone)]
+pub struct ActorSpec {
+    /// Actor name (globally unique).
+    pub name: String,
+    /// Starting location.
+    pub origin: String,
+    /// Action sequence.
+    pub actions: Vec<ActionSpec>,
+}
+
+/// The computation `(Λ, s, d)` in the spec file.
+#[derive(Debug, Clone)]
+pub struct ComputationSpec {
+    /// Identifying name.
+    pub name: String,
+    /// Earliest start tick `s`.
+    pub start: u64,
+    /// Deadline tick `d`.
+    pub deadline: u64,
+    /// Participating actors.
+    pub actors: Vec<ActorSpec>,
+}
+
+/// A whole check-spec file.
+#[derive(Debug, Clone)]
+pub struct CheckSpec {
+    /// The system's resource terms.
+    pub resources: Vec<ResourceSpec>,
+    /// The computation to admission-check.
+    pub computation: ComputationSpec,
+}
+
+/// Spec-level errors with user-facing messages.
+#[derive(Debug)]
+pub enum SpecError {
+    /// JSON syntax or schema problem.
+    Parse(String),
+    /// Semantically invalid content (empty interval, bad window, …).
+    Invalid(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Parse(e) => write!(f, "spec parse error: {e}"),
+            SpecError::Invalid(msg) => write!(f, "invalid spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A decoded JSON object, checked field-by-field so unknown and
+/// duplicate keys are rejected like serde's `deny_unknown_fields`.
+pub(crate) struct Fields<'a> {
+    ctx: &'a str,
+    pairs: &'a [(String, Json)],
+}
+
+impl<'a> Fields<'a> {
+    pub(crate) fn of(value: &'a Json, ctx: &'a str) -> Result<Self, SpecError> {
+        let pairs = value
+            .as_object()
+            .ok_or_else(|| SpecError::Parse(format!("{ctx}: expected an object")))?;
+        for (i, (key, _)) in pairs.iter().enumerate() {
+            if pairs[..i].iter().any(|(k, _)| k == key) {
+                return Err(SpecError::Parse(format!("{ctx}: duplicate field `{key}`")));
+            }
+        }
+        Ok(Fields { ctx, pairs })
+    }
+
+    pub(crate) fn deny_unknown(&self, allowed: &[&str]) -> Result<(), SpecError> {
+        for (key, _) in self.pairs {
+            if !allowed.contains(&key.as_str()) {
+                return Err(SpecError::Parse(format!(
+                    "{}: unknown field `{key}`, expected one of {allowed:?}",
+                    self.ctx
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn required(&self, key: &str) -> Result<&'a Json, SpecError> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| SpecError::Parse(format!("{}: missing field `{key}`", self.ctx)))
+    }
+
+    pub(crate) fn optional(&self, key: &str) -> Option<&'a Json> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub(crate) fn str(&self, key: &str) -> Result<String, SpecError> {
+        self.required(key)?
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| SpecError::Parse(format!("{}: field `{key}` must be a string", self.ctx)))
+    }
+
+    pub(crate) fn u64(&self, key: &str) -> Result<u64, SpecError> {
+        self.required(key)?.as_u64().ok_or_else(|| {
+            SpecError::Parse(format!(
+                "{}: field `{key}` must be a non-negative integer",
+                self.ctx
+            ))
+        })
+    }
+
+    pub(crate) fn u64_opt(&self, key: &str) -> Result<Option<u64>, SpecError> {
+        match self.optional(key) {
+            None => Ok(None),
+            Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+                SpecError::Parse(format!(
+                    "{}: field `{key}` must be a non-negative integer",
+                    self.ctx
+                ))
+            }),
+        }
+    }
+
+    pub(crate) fn array(&self, key: &str) -> Result<&'a [Json], SpecError> {
+        self.required(key)?.as_array().ok_or_else(|| {
+            SpecError::Parse(format!("{}: field `{key}` must be an array", self.ctx))
+        })
+    }
+}
+
+fn decode_resource(value: &Json, index: usize) -> Result<ResourceSpec, SpecError> {
+    let ctx = format!("resources[{index}]");
+    let fields = Fields::of(value, &ctx)?;
+    let kind = fields.str("kind")?;
+    match kind.as_str() {
+        "cpu" | "memory" => {
+            fields.deny_unknown(&["kind", "location", "rate", "start", "end"])?;
+            let location = fields.str("location")?;
+            let (rate, start, end) = (fields.u64("rate")?, fields.u64("start")?, fields.u64("end")?);
+            Ok(if kind == "cpu" {
+                ResourceSpec::Cpu {
+                    location,
+                    rate,
+                    start,
+                    end,
+                }
+            } else {
+                ResourceSpec::Memory {
+                    location,
+                    rate,
+                    start,
+                    end,
+                }
+            })
+        }
+        "network" => {
+            fields.deny_unknown(&["kind", "from", "to", "rate", "start", "end"])?;
+            Ok(ResourceSpec::Network {
+                from: fields.str("from")?,
+                to: fields.str("to")?,
+                rate: fields.u64("rate")?,
+                start: fields.u64("start")?,
+                end: fields.u64("end")?,
+            })
+        }
+        other => Err(SpecError::Parse(format!(
+            "{ctx}: unknown resource kind `{other}`, expected `cpu`, `memory`, or `network`"
+        ))),
+    }
+}
+
+fn decode_action(value: &Json, actor: &str, index: usize) -> Result<ActionSpec, SpecError> {
+    let ctx = format!("actor `{actor}` actions[{index}]");
+    let fields = Fields::of(value, &ctx)?;
+    let verb = fields.str("do")?;
+    match verb.as_str() {
+        "evaluate" => {
+            fields.deny_unknown(&["do", "work"])?;
+            Ok(ActionSpec::Evaluate {
+                work: fields.u64_opt("work")?,
+            })
+        }
+        "send" => {
+            fields.deny_unknown(&["do", "to", "dest", "size"])?;
+            Ok(ActionSpec::Send {
+                to: fields.str("to")?,
+                dest: fields.str("dest")?,
+                size: fields.u64_opt("size")?.unwrap_or(1),
+            })
+        }
+        "create" => {
+            fields.deny_unknown(&["do", "child"])?;
+            Ok(ActionSpec::Create {
+                child: fields.str("child")?,
+            })
+        }
+        "ready" => {
+            fields.deny_unknown(&["do"])?;
+            Ok(ActionSpec::Ready)
+        }
+        "migrate" => {
+            fields.deny_unknown(&["do", "dest"])?;
+            Ok(ActionSpec::Migrate {
+                dest: fields.str("dest")?,
+            })
+        }
+        other => Err(SpecError::Parse(format!(
+            "{ctx}: unknown action `{other}`, expected `evaluate`, `send`, `create`, `ready`, or `migrate`"
+        ))),
+    }
+}
+
+fn decode_actor(value: &Json, index: usize) -> Result<ActorSpec, SpecError> {
+    let ctx = format!("actors[{index}]");
+    let fields = Fields::of(value, &ctx)?;
+    fields.deny_unknown(&["name", "origin", "actions"])?;
+    let name = fields.str("name")?;
+    let actions = fields
+        .array("actions")?
+        .iter()
+        .enumerate()
+        .map(|(i, a)| decode_action(a, &name, i))
+        .collect::<Result<_, _>>()?;
+    Ok(ActorSpec {
+        origin: fields.str("origin")?,
+        actions,
+        name,
+    })
+}
+
+/// Decodes a list of resource specs from a JSON array.
+///
+/// # Errors
+///
+/// [`SpecError::Parse`] on schema violations.
+pub fn resources_from_json(values: &[Json]) -> Result<Vec<ResourceSpec>, SpecError> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, r)| decode_resource(r, i))
+        .collect()
+}
+
+/// Converts decoded resource specs into a library [`ResourceSet`].
+///
+/// # Errors
+///
+/// [`SpecError::Invalid`] for empty intervals or rate overflow.
+pub fn resource_set(specs: &[ResourceSpec]) -> Result<ResourceSet, SpecError> {
+    let mut theta = ResourceSet::new();
+    for r in specs {
+        let (located, rate, start, end) = match r {
+            ResourceSpec::Cpu {
+                location,
+                rate,
+                start,
+                end,
+            } => (
+                LocatedType::cpu(Location::new(location)),
+                *rate,
+                *start,
+                *end,
+            ),
+            ResourceSpec::Memory {
+                location,
+                rate,
+                start,
+                end,
+            } => (
+                LocatedType::memory(Location::new(location)),
+                *rate,
+                *start,
+                *end,
+            ),
+            ResourceSpec::Network {
+                from,
+                to,
+                rate,
+                start,
+                end,
+            } => (
+                LocatedType::network(Location::new(from), Location::new(to)),
+                *rate,
+                *start,
+                *end,
+            ),
+        };
+        let interval = TimeInterval::from_ticks(start, end)
+            .map_err(|e| SpecError::Invalid(format!("resource {located}: {e}")))?;
+        theta
+            .insert(ResourceTerm::new(Rate::new(rate), interval, located))
+            .map_err(|e| SpecError::Invalid(e.to_string()))?;
+    }
+    Ok(theta)
+}
+
+/// Serializes a [`ResourceSet`] as the spec's `resources` array.
+///
+/// Node kinds beyond `cpu`/`memory` are written with their label; the
+/// strict decoder only accepts the spec's three kinds, so exotic kinds
+/// (`disk`, custom) do not survive a wire round-trip.
+pub fn resource_set_to_json(theta: &ResourceSet) -> Json {
+    Json::Arr(
+        theta
+            .to_terms()
+            .iter()
+            .map(|term| {
+                let mut pairs = Vec::with_capacity(6);
+                match term.located() {
+                    LocatedType::Node { kind, location } => {
+                        let label = match kind {
+                            NodeResourceKind::Cpu => "cpu",
+                            NodeResourceKind::Memory => "memory",
+                            other => other.label(),
+                        };
+                        pairs.push(("kind".into(), Json::Str(label.into())));
+                        pairs.push(("location".into(), Json::Str(location.name().into())));
+                    }
+                    LocatedType::Link { from, to } => {
+                        pairs.push(("kind".into(), Json::Str("network".into())));
+                        pairs.push(("from".into(), Json::Str(from.name().into())));
+                        pairs.push(("to".into(), Json::Str(to.name().into())));
+                    }
+                }
+                pairs.push(("rate".into(), Json::Num(term.rate().units_per_tick() as f64)));
+                pairs.push(("start".into(), Json::Num(term.interval().start().ticks() as f64)));
+                pairs.push(("end".into(), Json::Num(term.interval().end().ticks() as f64)));
+                Json::Obj(pairs)
+            })
+            .collect(),
+    )
+}
+
+impl ComputationSpec {
+    /// Decodes a computation spec from its JSON object form.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Parse`] on schema violations.
+    pub fn from_json(value: &Json) -> Result<Self, SpecError> {
+        let fields = Fields::of(value, "computation")?;
+        fields.deny_unknown(&["name", "start", "deadline", "actors"])?;
+        Ok(ComputationSpec {
+            name: fields.str("name")?,
+            start: fields.u64("start")?,
+            deadline: fields.u64("deadline")?,
+            actors: fields
+                .array("actors")?
+                .iter()
+                .enumerate()
+                .map(|(i, a)| decode_actor(a, i))
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Converts the spec into a library [`DistributedComputation`].
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Invalid`] when the deadline does not follow the
+    /// start.
+    pub fn build(&self) -> Result<DistributedComputation, SpecError> {
+        let actors = self
+            .actors
+            .iter()
+            .map(|a| {
+                let mut gamma = ActorComputation::new(a.name.as_str(), a.origin.as_str());
+                for action in &a.actions {
+                    gamma.push(match action {
+                        ActionSpec::Evaluate { work } => ActionKind::Evaluate {
+                            work: work.map(Quantity::new),
+                        },
+                        ActionSpec::Send { to, dest, size } => ActionKind::Send {
+                            to: to.as_str().into(),
+                            dest: Location::new(dest),
+                            size: *size,
+                        },
+                        ActionSpec::Create { child } => ActionKind::create(child.as_str()),
+                        ActionSpec::Ready => ActionKind::Ready,
+                        ActionSpec::Migrate { dest } => ActionKind::migrate(dest.as_str()),
+                    });
+                }
+                gamma
+            })
+            .collect();
+        DistributedComputation::new(
+            self.name.as_str(),
+            actors,
+            TimePoint::new(self.start),
+            TimePoint::new(self.deadline),
+        )
+        .map_err(|e| SpecError::Invalid(e.to_string()))
+    }
+}
+
+/// Serializes a [`DistributedComputation`] as the spec's `computation`
+/// object — the exact shape [`ComputationSpec::from_json`] accepts, so
+/// `admit` requests round-trip between client and server.
+pub fn computation_to_json(lambda: &DistributedComputation) -> Json {
+    let actors = lambda
+        .actors()
+        .iter()
+        .map(|gamma| {
+            let actions = gamma
+                .actions()
+                .iter()
+                .map(|action| {
+                    let mut pairs = Vec::with_capacity(4);
+                    match action {
+                        ActionKind::Evaluate { work } => {
+                            pairs.push(("do".into(), Json::Str("evaluate".into())));
+                            if let Some(q) = work {
+                                pairs.push(("work".into(), Json::Num(q.units() as f64)));
+                            }
+                        }
+                        ActionKind::Send { to, dest, size } => {
+                            pairs.push(("do".into(), Json::Str("send".into())));
+                            pairs.push(("to".into(), Json::Str(to.to_string())));
+                            pairs.push(("dest".into(), Json::Str(dest.name().into())));
+                            pairs.push(("size".into(), Json::Num(*size as f64)));
+                        }
+                        ActionKind::Create { child } => {
+                            pairs.push(("do".into(), Json::Str("create".into())));
+                            pairs.push(("child".into(), Json::Str(child.to_string())));
+                        }
+                        ActionKind::Ready => {
+                            pairs.push(("do".into(), Json::Str("ready".into())));
+                        }
+                        ActionKind::Migrate { dest } => {
+                            pairs.push(("do".into(), Json::Str("migrate".into())));
+                            pairs.push(("dest".into(), Json::Str(dest.name().into())));
+                        }
+                    }
+                    Json::Obj(pairs)
+                })
+                .collect();
+            Json::Obj(vec![
+                ("name".into(), Json::Str(gamma.actor().to_string())),
+                ("origin".into(), Json::Str(gamma.origin().name().into())),
+                ("actions".into(), Json::Arr(actions)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("name".into(), Json::Str(lambda.name().into())),
+        ("start".into(), Json::Num(lambda.start().ticks() as f64)),
+        ("deadline".into(), Json::Num(lambda.deadline().ticks() as f64)),
+        ("actors".into(), Json::Arr(actors)),
+    ])
+}
+
+impl CheckSpec {
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Parse`] on malformed JSON, unknown fields, missing
+    /// fields, or wrong value types.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let doc = Json::parse(text).map_err(|e| SpecError::Parse(e.to_string()))?;
+        let fields = Fields::of(&doc, "spec")?;
+        fields.deny_unknown(&["resources", "computation"])?;
+        Ok(CheckSpec {
+            resources: resources_from_json(fields.array("resources")?)?,
+            computation: ComputationSpec::from_json(fields.required("computation")?)?,
+        })
+    }
+
+    /// Converts the resource list into a library [`ResourceSet`].
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Invalid`] for empty intervals or rate overflow.
+    pub fn resources(&self) -> Result<ResourceSet, SpecError> {
+        resource_set(&self.resources)
+    }
+
+    /// Converts the computation into a library
+    /// [`DistributedComputation`].
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Invalid`] when the deadline does not follow the start.
+    pub fn computation(&self) -> Result<DistributedComputation, SpecError> {
+        self.computation.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "resources": [
+            { "kind": "cpu", "location": "l1", "rate": 4, "start": 0, "end": 20 },
+            { "kind": "memory", "location": "l1", "rate": 2, "start": 0, "end": 20 },
+            { "kind": "network", "from": "l1", "to": "l2", "rate": 4, "start": 0, "end": 20 }
+        ],
+        "computation": {
+            "name": "job",
+            "start": 0,
+            "deadline": 20,
+            "actors": [
+                { "name": "worker", "origin": "l1", "actions": [
+                    { "do": "evaluate" },
+                    { "do": "evaluate", "work": 12 },
+                    { "do": "send", "to": "peer", "dest": "l2", "size": 2 },
+                    { "do": "create", "child": "helper" },
+                    { "do": "ready" },
+                    { "do": "migrate", "dest": "l2" }
+                ] }
+            ]
+        }
+    }"#;
+
+    #[test]
+    fn parses_and_converts_sample() {
+        let spec = CheckSpec::from_json(SAMPLE).unwrap();
+        let theta = spec.resources().unwrap();
+        assert_eq!(theta.located_types().count(), 3);
+        let lambda = spec.computation().unwrap();
+        assert_eq!(lambda.name(), "job");
+        assert_eq!(lambda.action_count(), 6);
+        assert_eq!(lambda.deadline(), TimePoint::new(20));
+    }
+
+    #[test]
+    fn rejects_unknown_fields() {
+        let bad = r#"{ "resources": [], "computation": {
+            "name": "x", "start": 0, "deadline": 1, "actors": [], "bogus": true } }"#;
+        assert!(matches!(
+            CheckSpec::from_json(bad),
+            Err(SpecError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_and_mistyped_fields() {
+        let missing = r#"{ "resources": [ { "kind": "cpu", "location": "l1", "rate": 1, "start": 0 } ],
+             "computation": { "name": "x", "start": 0, "deadline": 1, "actors": [] } }"#;
+        let err = CheckSpec::from_json(missing).unwrap_err();
+        assert!(err.to_string().contains("missing field `end`"), "{err}");
+
+        let mistyped = r#"{ "resources": [],
+             "computation": { "name": "x", "start": -1, "deadline": 1, "actors": [] } }"#;
+        assert!(matches!(
+            CheckSpec::from_json(mistyped),
+            Err(SpecError::Parse(_))
+        ));
+
+        let duplicate = r#"{ "resources": [], "resources": [],
+             "computation": { "name": "x", "start": 0, "deadline": 1, "actors": [] } }"#;
+        let err = CheckSpec::from_json(duplicate).unwrap_err();
+        assert!(err.to_string().contains("duplicate field"), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_interval_and_bad_window() {
+        let spec = CheckSpec::from_json(
+            r#"{ "resources": [ { "kind": "cpu", "location": "l1", "rate": 1, "start": 5, "end": 5 } ],
+                 "computation": { "name": "x", "start": 0, "deadline": 1, "actors": [] } }"#,
+        )
+        .unwrap();
+        assert!(matches!(spec.resources(), Err(SpecError::Invalid(_))));
+
+        let spec = CheckSpec::from_json(
+            r#"{ "resources": [],
+                 "computation": { "name": "x", "start": 5, "deadline": 5, "actors": [] } }"#,
+        )
+        .unwrap();
+        let err = spec.computation().unwrap_err();
+        assert!(err.to_string().contains("invalid spec"));
+    }
+
+    #[test]
+    fn default_send_size_is_one() {
+        let spec = CheckSpec::from_json(
+            r#"{ "resources": [],
+                 "computation": { "name": "x", "start": 0, "deadline": 5, "actors": [
+                    { "name": "a", "origin": "l1", "actions": [
+                        { "do": "send", "to": "b", "dest": "l2" } ] } ] } }"#,
+        )
+        .unwrap();
+        let lambda = spec.computation().unwrap();
+        match &lambda.actors()[0].actions()[0] {
+            ActionKind::Send { size, .. } => assert_eq!(*size, 1),
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn computation_encoder_round_trips() {
+        let lambda = CheckSpec::from_json(SAMPLE).unwrap().computation().unwrap();
+        let encoded = computation_to_json(&lambda);
+        let decoded = ComputationSpec::from_json(&encoded)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(lambda, decoded);
+        // And once more through the wire form: still identical.
+        let again = ComputationSpec::from_json(&computation_to_json(&decoded))
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(lambda, again);
+    }
+
+    #[test]
+    fn resource_encoder_round_trips() {
+        let theta = CheckSpec::from_json(SAMPLE).unwrap().resources().unwrap();
+        let encoded = resource_set_to_json(&theta);
+        let decoded =
+            resource_set(&resources_from_json(encoded.as_array().unwrap()).unwrap()).unwrap();
+        assert!(theta.dominates(&decoded) && decoded.dominates(&theta));
+    }
+}

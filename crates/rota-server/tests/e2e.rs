@@ -1,0 +1,321 @@
+//! End-to-end tests against a live server on an ephemeral port.
+//!
+//! These talk raw TCP (no rota-client, which would be a dependency
+//! cycle) so they also pin down the wire format itself: one JSON
+//! document per line, `"ok"` flag on every response.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use rota_actor::{Granularity, TableCostModel};
+use rota_admission::{
+    AdmissionController, AdmissionPolicy, AdmissionRequest, Decision, RotaPolicy,
+};
+use rota_interval::TimePoint;
+use rota_logic::State;
+use rota_obs::Json;
+use rota_server::spec::computation_to_json;
+use rota_server::{Server, ServerConfig};
+use rota_workload::{base_resources, generate_job, JobShape, WorkloadConfig};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One request/response exchange over an existing connection.
+fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Json {
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("write frame");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read frame");
+    assert!(response.ends_with('\n'), "unterminated frame: {response:?}");
+    Json::parse(response.trim_end()).expect("response is valid JSON")
+}
+
+fn connect(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+fn admit_line(computation: &rota_actor::DistributedComputation) -> String {
+    let mut pairs = vec![
+        ("op".to_string(), Json::Str("admit".into())),
+        ("granularity".to_string(), Json::Str("maximal-run".into())),
+    ];
+    pairs.push(("computation".to_string(), computation_to_json(computation)));
+    Json::Obj(pairs).to_string()
+}
+
+/// Chain-shaped (single-location) workload: each job touches exactly
+/// one location, so a sharded server and a monolithic controller see
+/// the same per-location resource state and must agree on every
+/// verdict.
+fn chain_workload() -> WorkloadConfig {
+    WorkloadConfig::new(42)
+        .with_nodes(4)
+        .with_horizon(64)
+        .with_shape(JobShape::Chain { evals: 3 })
+        .with_slack(3.0)
+}
+
+#[test]
+fn server_decisions_match_in_process_controller() {
+    let workload = chain_workload();
+    let theta = base_resources(&workload);
+    let server = Server::spawn(ServerConfig::ephemeral(), RotaPolicy, &theta)
+        .expect("spawn server");
+    let (mut stream, mut reader) = connect(server.local_addr());
+
+    let mut reference =
+        AdmissionController::new(RotaPolicy, theta, TimePoint::ZERO);
+    let phi = TableCostModel::paper();
+    let mut rng = StdRng::seed_from_u64(workload.seed);
+    let mut agreements = 0usize;
+    let mut accepted = 0usize;
+    for i in 0..60 {
+        let arrival = rng.gen_range(0..workload.horizon / 2);
+        let job = generate_job(&workload, &mut rng, &format!("e2e{i}"), arrival);
+        let expected = reference
+            .submit(&AdmissionRequest::price(
+                job.clone(),
+                &phi,
+                Granularity::MaximalRun,
+            ))
+            .is_accept();
+        let response = roundtrip(&mut stream, &mut reader, &admit_line(&job));
+        assert_eq!(
+            response.get("op").and_then(Json::as_str),
+            Some("decision"),
+            "unexpected response: {response}"
+        );
+        let got = response
+            .get("accepted")
+            .and_then(Json::as_bool)
+            .expect("decision has accepted flag");
+        assert_eq!(
+            got, expected,
+            "server and in-process controller disagree on job {i}: {response}"
+        );
+        agreements += 1;
+        accepted += usize::from(got);
+    }
+    assert_eq!(agreements, 60);
+    // The workload must actually exercise both verdicts for the
+    // comparison to mean anything.
+    assert!(accepted > 0, "no job was admitted");
+    assert!(accepted < 60, "no job was refused");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_error_and_connection_survives() {
+    let server = Server::spawn(
+        ServerConfig::ephemeral(),
+        RotaPolicy,
+        &base_resources(&chain_workload()),
+    )
+    .expect("spawn server");
+    let (mut stream, mut reader) = connect(server.local_addr());
+    for bad in [
+        "this is not json",
+        "{\"op\":\"no-such-op\"}",
+        "{\"op\":\"admit\"}",
+        "[1,2,3]",
+        "{\"op\":\"admit\",\"granularity\":\"maximal-run\",\"computation\":{\"name\":1}}",
+    ] {
+        let response = roundtrip(&mut stream, &mut reader, bad);
+        assert_eq!(
+            response.get("op").and_then(Json::as_str),
+            Some("error"),
+            "expected error for {bad:?}, got {response}"
+        );
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    }
+    // The connection is still usable after every malformed frame.
+    let pong = roundtrip(&mut stream, &mut reader, "{\"op\":\"ping\"}");
+    assert_eq!(pong.get("op").and_then(Json::as_str), Some("pong"));
+    let malformed = server
+        .registry()
+        .snapshot()
+        .counter("server.frames.malformed")
+        .unwrap_or(0);
+    assert_eq!(malformed, 5);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frames_are_refused_at_the_limit() {
+    let config = ServerConfig {
+        max_frame_bytes: 1024,
+        ..ServerConfig::ephemeral()
+    };
+    let server = Server::spawn(config, RotaPolicy, &base_resources(&chain_workload()))
+        .expect("spawn server");
+    let (mut stream, mut reader) = connect(server.local_addr());
+    // 64 KiB of syntactically valid JSON in one frame: the server must
+    // refuse it while reading, not after buffering all of it.
+    let huge = format!("{{\"op\":\"ping\",\"pad\":\"{}\"}}", "x".repeat(64 * 1024));
+    let response = roundtrip(&mut stream, &mut reader, &huge);
+    assert_eq!(response.get("op").and_then(Json::as_str), Some("error"));
+    let message = response
+        .get("error")
+        .and_then(Json::as_str)
+        .expect("error carries message");
+    assert!(message.contains("1024"), "unhelpful message: {message}");
+    // The server hangs up after an oversized frame (the rest of the
+    // stream cannot be re-synchronized): next read sees EOF.
+    let mut rest = String::new();
+    match reader.read_line(&mut rest) {
+        Ok(n) => assert_eq!(n, 0, "connection should be closed, got {rest:?}"),
+        // A reset is also a legitimate "hung up": the server closed
+        // with part of the oversized frame still unread.
+        Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset),
+    }
+    server.shutdown();
+}
+
+/// A policy that takes its time: lets tests fill the shard queue
+/// deterministically to force `overloaded` responses.
+#[derive(Clone)]
+struct SlowPolicy {
+    delay: Duration,
+}
+
+impl AdmissionPolicy for SlowPolicy {
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+
+    fn decide(&self, state: &State, request: &AdmissionRequest) -> Decision {
+        std::thread::sleep(self.delay);
+        RotaPolicy.decide(state, request)
+    }
+}
+
+#[test]
+fn overload_answers_explicit_backpressure() {
+    let workload = chain_workload();
+    let config = ServerConfig {
+        shards: 1,
+        queue_capacity: 1,
+        ..ServerConfig::ephemeral()
+    };
+    let server = Server::spawn(
+        config,
+        SlowPolicy {
+            delay: Duration::from_millis(60),
+        },
+        &base_resources(&workload),
+    )
+    .expect("spawn server");
+    let addr = server.local_addr();
+
+    // 8 concurrent one-shot clients against a single shard that can
+    // hold one queued request while one is being (slowly) decided: at
+    // least one must bounce with `overloaded`, and nobody may hang.
+    let mut rng = StdRng::seed_from_u64(7);
+    let jobs: Vec<_> = (0..8)
+        .map(|i| generate_job(&workload, &mut rng, &format!("ov{i}"), 0))
+        .collect();
+    let mut handles = Vec::new();
+    for job in jobs {
+        handles.push(std::thread::spawn(move || {
+            let (mut stream, mut reader) = connect(addr);
+            let response = roundtrip(&mut stream, &mut reader, &admit_line(&job));
+            response
+                .get("op")
+                .and_then(Json::as_str)
+                .expect("op field")
+                .to_string()
+        }));
+    }
+    let mut decisions = 0usize;
+    let mut overloaded = 0usize;
+    for handle in handles {
+        match handle.join().expect("client thread").as_str() {
+            "decision" => decisions += 1,
+            "overloaded" => overloaded += 1,
+            other => panic!("unexpected op {other}"),
+        }
+    }
+    assert_eq!(decisions + overloaded, 8);
+    assert!(
+        overloaded >= 1,
+        "expected backpressure with queue capacity 1, got {decisions} decisions"
+    );
+    let bounced = server
+        .registry()
+        .snapshot()
+        .counter("server.overloaded{shard=0}")
+        .unwrap_or(0);
+    assert_eq!(bounced as usize, overloaded);
+    server.shutdown();
+}
+
+#[test]
+fn protocol_shutdown_drains_and_stops_accepting() {
+    let workload = chain_workload();
+    let server = Server::spawn(
+        ServerConfig::ephemeral(),
+        RotaPolicy,
+        &base_resources(&workload),
+    )
+    .expect("spawn server");
+    let addr = server.local_addr();
+    let (mut stream, mut reader) = connect(addr);
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let job = generate_job(&workload, &mut rng, "pre", 0);
+    let response = roundtrip(&mut stream, &mut reader, &admit_line(&job));
+    assert_eq!(response.get("op").and_then(Json::as_str), Some("decision"));
+
+    let bye = roundtrip(&mut stream, &mut reader, "{\"op\":\"shutdown\"}");
+    assert_eq!(bye.get("op").and_then(Json::as_str), Some("bye"));
+    // Joining must complete promptly: shard workers drain and exit.
+    let started = Instant::now();
+    server.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown took {:?}",
+        started.elapsed()
+    );
+    // The journal survived the drain and recorded the decision.
+    assert!(!server.journal().is_empty());
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(300)).is_err(),
+        "listener should be gone after shutdown"
+    );
+}
+
+#[test]
+fn idle_connections_are_reaped() {
+    let config = ServerConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..ServerConfig::ephemeral()
+    };
+    let server = Server::spawn(config, RotaPolicy, &base_resources(&chain_workload()))
+        .expect("spawn server");
+    let (_stream, mut reader) = connect(server.local_addr());
+    // Send nothing. Within the 10s read timeout the server must reap us:
+    // an `error` frame mentioning idleness, then EOF.
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read reap notice");
+    let notice = Json::parse(line.trim_end()).expect("reap notice is JSON");
+    assert_eq!(notice.get("op").and_then(Json::as_str), Some("error"), "notice: {notice}");
+    let message = notice.get("error").and_then(Json::as_str).unwrap_or_default();
+    assert!(message.contains("idle"), "unexpected notice: {notice}");
+    let mut rest = String::new();
+    assert_eq!(reader.read_line(&mut rest).expect("eof"), 0);
+    let reaped = server
+        .registry()
+        .snapshot()
+        .counter("server.connections.idle_reaped")
+        .unwrap_or(0);
+    assert_eq!(reaped, 1);
+    server.shutdown();
+}

@@ -18,3 +18,12 @@ bench-obs:
 # Regenerate the metric/journal demo dump.
 stats:
     cargo run -p rota-cli -- stats
+
+# Run the sharded admission service (ctrl-c or the `shutdown` verb stops it).
+serve *ARGS:
+    cargo run --release -p rota-cli --bin rota-cli -- serve {{ARGS}}
+
+# Drive a freshly spawned server with generated traffic; E13 numbers come
+# from `just loadtest --policy all --jobs 2000 --connections 8`.
+loadtest *ARGS:
+    cargo run --release -p rota-cli --bin rota-cli -- loadtest {{ARGS}}
