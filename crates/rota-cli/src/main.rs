@@ -35,9 +35,9 @@ use rota_admission::{
 use rota_interval::TimePoint;
 use rota_logic::State;
 use rota_obs::{DecisionEvent, Json, Registry};
-use rota_client::{run_loadtest, Client, LoadtestConfig};
+use rota_client::{run_loadtest, Client, HedgeConfig, LoadtestConfig, RetryConfig};
 use rota_server::spec::CheckSpec;
-use rota_server::{spawn_policy_by_name, ServerConfig, POLICY_NAMES};
+use rota_server::{spawn_policy_by_name, FaultPlan, ServerConfig, POLICY_NAMES};
 use rota_sim::{run_scenario_observed, run_scenario_traced_observed};
 use rota_workload::{base_resources, build_scenario, JobShape, WorkloadConfig};
 
@@ -77,9 +77,16 @@ fn print_usage() {
     eprintln!("  rota stats    [--json] [--out <path>]");
     eprintln!("  rota serve    [--addr HOST:PORT] [--policy rota|naive|optimistic|edf]");
     eprintln!("                [--shards N] [--queue N] [--nodes N] [--horizon T] [--seed N]");
+    eprintln!("                [--chaos seed=N,latency_ms=N,latency_p=P,truncate_p=P,");
+    eprintln!("                         corrupt_p=P,reset_p=P,panic_nth=N]");
     eprintln!("  rota loadtest [--policy rota|naive|optimistic|edf|all] [--nodes N]");
     eprintln!("                [--jobs N] [--connections N] [--shape …] [--shards N]");
     eprintln!("                [--queue N] [--horizon T] [--seed N] [--addr HOST:PORT]");
+    eprintln!("                [--chaos <spec as above>]");
+    eprintln!();
+    eprintln!("loadtest --seed N also makes the request schedule deterministic");
+    eprintln!("(static round-robin partition); --chaos turns on the retrying,");
+    eprintln!("hedging client so injected faults are ridden out, not tallied.");
     eprintln!();
     eprintln!("Every subcommand also accepts --metrics-out <path> to dump its");
     eprintln!("metric snapshot and decision journal as JSON.");
@@ -632,7 +639,7 @@ fn service_workload(args: &[String], command: &str) -> Result<WorkloadConfig, Ex
         .with_slack(slack))
 }
 
-fn server_config(args: &[String], addr: SocketAddr) -> ServerConfig {
+fn server_config(args: &[String], addr: SocketAddr, command: &str) -> Result<ServerConfig, ExitCode> {
     let mut config = ServerConfig {
         addr,
         ..ServerConfig::default()
@@ -643,7 +650,16 @@ fn server_config(args: &[String], addr: SocketAddr) -> ServerConfig {
     if let Some(queue) = flag(args, "--queue").and_then(|v| v.parse().ok()) {
         config.queue_capacity = queue;
     }
-    config
+    if let Some(spec) = flag(args, "--chaos") {
+        match FaultPlan::parse(&spec) {
+            Ok(plan) => config.fault_plan = Some(plan),
+            Err(e) => {
+                eprintln!("{command}: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    }
+    Ok(config)
 }
 
 fn cmd_serve(args: &[String]) -> ExitCode {
@@ -663,9 +679,13 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         Err(code) => return code,
     };
     let theta = base_resources(&workload);
-    let config = server_config(args, addr);
+    let config = match server_config(args, addr, "serve") {
+        Ok(config) => config,
+        Err(code) => return code,
+    };
     let shards = config.shards;
     let queue = config.queue_capacity;
+    let chaos = config.fault_plan.clone();
     let handle = match spawn_policy_by_name(&policy, config, &theta) {
         Some(Ok(handle)) => handle,
         Some(Err(e)) => {
@@ -688,6 +708,12 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         theta.term_count(),
         workload.nodes,
     );
+    if let Some(plan) = chaos {
+        println!(
+            "CHAOS MODE: injecting faults under seed {} ({plan:?})",
+            plan.seed
+        );
+    }
     println!("send {{\"op\":\"shutdown\"}} (or drop the process) to stop; draining is graceful");
     handle.wait();
     println!("drained; bye");
@@ -740,13 +766,27 @@ fn cmd_loadtest(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let theta = base_resources(&workload);
+    // `--seed` pins the whole run: the same flag set replays the exact
+    // same per-connection request schedule (static partition).
+    let deterministic = args.iter().any(|a| a == "--seed");
+    // `--chaos` arms the server's fault injector *and* the client's
+    // retry/hedge layer — injected faults get ridden out, and the
+    // report shows how much riding was needed.
+    let chaos = flag(args, "--chaos").is_some();
     for policy in policies {
         // Spawn a fresh in-process server per policy unless the caller
         // points us at an external one.
         let handle = match external {
             Some(_) => None,
             None => {
-                let config = server_config(args, "127.0.0.1:0".parse().expect("static addr"));
+                let config = match server_config(
+                    args,
+                    "127.0.0.1:0".parse().expect("static addr"),
+                    "loadtest",
+                ) {
+                    Ok(config) => config,
+                    Err(code) => return code,
+                };
                 match spawn_policy_by_name(policy, config, &theta) {
                     Some(Ok(handle)) => Some(handle),
                     Some(Err(e)) => {
@@ -764,6 +804,13 @@ fn cmd_loadtest(args: &[String]) -> ExitCode {
             jobs,
             workload: workload.clone(),
             granularity,
+            deterministic,
+            retry: chaos.then(|| RetryConfig {
+                max_attempts: 8,
+                seed: workload.seed,
+                ..RetryConfig::default()
+            }),
+            hedge: chaos.then(HedgeConfig::default),
         };
         let report = match run_loadtest(&config) {
             Ok(report) => report,

@@ -4,12 +4,15 @@
 //! [`rota_server::protocol`], plus a multi-connection [`loadtest`]
 //! harness that drives a server with [`rota_workload`]-generated
 //! traffic and reports throughput, latency percentiles, and acceptance
-//! rates.
+//! rates. The [`resilient`] module layers deterministic retry,
+//! exponential backoff with seeded jitter, per-request deadline
+//! budgets, and p99-triggered hedging on top of the raw client.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod loadtest;
+pub mod resilient;
 
 use std::fmt;
 use std::io::{BufReader, BufWriter};
@@ -22,7 +25,8 @@ use rota_obs::Json;
 use rota_server::protocol::{read_frame, write_frame, FrameError, Request, Response};
 use rota_server::spec::{computation_to_json, ComputationSpec, SpecError};
 
-pub use loadtest::{run_loadtest, LoadtestConfig, LoadtestReport};
+pub use loadtest::{request_schedule, run_loadtest, LoadtestConfig, LoadtestReport};
+pub use resilient::{HedgeConfig, ResilienceStats, ResilientClient, RetryConfig};
 
 /// Anything that can go wrong on a client call.
 #[derive(Debug)]

@@ -18,6 +18,7 @@ use rota_server::protocol::{Request, Response};
 use rota_server::spec::{computation_to_json, ComputationSpec};
 use rota_workload::{generate_job, WorkloadConfig};
 
+use crate::resilient::{HedgeConfig, ResilientClient, RetryConfig};
 use crate::{Client, ClientError};
 
 /// What to throw at the server.
@@ -33,6 +34,16 @@ pub struct LoadtestConfig {
     pub workload: WorkloadConfig,
     /// Pricing granularity sent with each admit.
     pub granularity: Granularity,
+    /// Deterministic mode: statically partition jobs round-robin over
+    /// connections instead of racing a shared cursor, so the request
+    /// schedule is a pure function of the config (see
+    /// [`request_schedule`]).
+    pub deterministic: bool,
+    /// Retry/backoff for each connection; `None` submits each job once
+    /// and counts failures, which keeps saturation visible.
+    pub retry: Option<RetryConfig>,
+    /// Hedged requests (requires `retry`).
+    pub hedge: Option<HedgeConfig>,
 }
 
 impl LoadtestConfig {
@@ -44,6 +55,9 @@ impl LoadtestConfig {
             jobs: 200,
             workload: WorkloadConfig::new(7),
             granularity: Granularity::MaximalRun,
+            deterministic: false,
+            retry: None,
+            hedge: None,
         }
     }
 }
@@ -76,6 +90,10 @@ pub struct LoadtestReport {
     pub latencies_ns: Vec<u64>,
     /// First transport/protocol error observed, for diagnostics.
     pub first_error: Option<String>,
+    /// Retries performed by the resilience layer (0 without `retry`).
+    pub retries: u64,
+    /// Hedge attempts fired by the resilience layer.
+    pub hedges: u64,
 }
 
 impl LoadtestReport {
@@ -134,6 +152,12 @@ impl LoadtestReport {
             us(self.percentile_ns(99.0)),
             us(self.latencies_ns.last().copied().unwrap_or(0)),
         ));
+        if self.retries > 0 || self.hedges > 0 {
+            out.push_str(&format!(
+                "  resilience   retries={} hedges={}\n",
+                self.retries, self.hedges
+            ));
+        }
         if let Some(err) = &self.first_error {
             out.push_str(&format!("  first error  {err}\n"));
         }
@@ -153,17 +177,38 @@ pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, ClientErr
     let connections = config.connections.max(1);
     let started = Instant::now();
     let mut handles = Vec::with_capacity(connections);
-    for _ in 0..connections {
+    for connection in 0..connections {
         let shared = Arc::clone(&shared);
         let cursor = Arc::clone(&cursor);
         let addr = config.addr;
+        let schedule = if config.deterministic {
+            Schedule::Fixed(partition(total, connections, connection))
+        } else {
+            Schedule::Shared(cursor)
+        };
+        // Each connection gets its own jitter stream so same-seed runs
+        // replay the exact same retry schedule per connection.
+        let resilience = config.retry.as_ref().map(|retry| {
+            (
+                RetryConfig {
+                    seed: retry.seed.wrapping_add(connection as u64),
+                    ..retry.clone()
+                },
+                config.hedge.clone(),
+            )
+        });
         handles.push(std::thread::spawn(move || {
-            worker(addr, &shared, &cursor)
+            worker(addr, &shared, schedule, resilience)
         }));
     }
     let mut outcomes = Vec::with_capacity(total);
+    let mut retries = 0u64;
+    let mut hedges = 0u64;
     for handle in handles {
-        outcomes.extend(handle.join().expect("loadtest worker panicked"));
+        let (samples, stats) = handle.join().expect("loadtest worker panicked");
+        outcomes.extend(samples);
+        retries += stats.retries;
+        hedges += stats.hedges;
     }
     let elapsed = started.elapsed();
 
@@ -176,6 +221,8 @@ pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, ClientErr
         elapsed,
         latencies_ns: Vec::with_capacity(outcomes.len()),
         first_error: None,
+        retries,
+        hedges,
     };
     for (outcome, ns, err) in outcomes {
         match outcome {
@@ -194,6 +241,30 @@ pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, ClientErr
     }
     report.latencies_ns.sort_unstable();
     Ok(report)
+}
+
+/// The job indices connection `index` submits, in order, under the
+/// deterministic round-robin partition.
+fn partition(total: usize, connections: usize, index: usize) -> Vec<usize> {
+    (index..total).step_by(connections.max(1)).collect()
+}
+
+/// The full request schedule of a deterministic run: for each
+/// connection, the names of the jobs it will submit, in submission
+/// order. A pure function of the config — two calls with equal configs
+/// return equal schedules, which is what the `--seed` regression test
+/// pins down.
+pub fn request_schedule(config: &LoadtestConfig) -> Result<Vec<Vec<String>>, ClientError> {
+    let jobs = prepare_jobs(config)?;
+    let connections = config.connections.max(1);
+    Ok((0..connections)
+        .map(|c| {
+            partition(jobs.len(), connections, c)
+                .into_iter()
+                .map(|i| jobs[i].0.name.clone())
+                .collect()
+        })
+        .collect())
 }
 
 /// Draws the batch of computations and pre-encodes them as wire specs,
@@ -217,10 +288,88 @@ fn prepare_jobs(
 
 type Sample = (Outcome, u64, Option<String>);
 
+/// How a worker picks its next job: racing a shared cursor (fast,
+/// nondeterministic interleaving) or walking a fixed index list
+/// (deterministic mode).
+enum Schedule {
+    Shared(Arc<AtomicUsize>),
+    Fixed(Vec<usize>),
+}
+
+impl Schedule {
+    fn next(&mut self, total: usize) -> Option<usize> {
+        match self {
+            Schedule::Shared(cursor) => {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                (index < total).then_some(index)
+            }
+            Schedule::Fixed(indices) => {
+                if indices.is_empty() {
+                    None
+                } else {
+                    Some(indices.remove(0))
+                }
+            }
+        }
+    }
+}
+
 fn worker(
     addr: SocketAddr,
     jobs: &[(ComputationSpec, Granularity)],
-    cursor: &AtomicUsize,
+    mut schedule: Schedule,
+    resilience: Option<(RetryConfig, Option<HedgeConfig>)>,
+) -> (Vec<Sample>, crate::resilient::ResilienceStats) {
+    match resilience {
+        Some((retry, hedge)) => {
+            let mut client = ResilientClient::new(addr, retry);
+            if let Some(hedge) = hedge {
+                client = client.with_hedging(hedge);
+            }
+            let mut samples = Vec::new();
+            while let Some(index) = schedule.next(jobs.len()) {
+                let (spec, granularity) = &jobs[index];
+                let start = Instant::now();
+                let sample = match client.admit(spec.clone(), *granularity) {
+                    Ok(Response::Decision { accepted, .. }) => {
+                        let ns =
+                            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        let outcome = if accepted {
+                            Outcome::Accepted
+                        } else {
+                            Outcome::Rejected
+                        };
+                        (outcome, ns, None)
+                    }
+                    Ok(Response::Overloaded { .. }) => {
+                        let ns =
+                            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        (Outcome::Overloaded, ns, None)
+                    }
+                    Ok(other) => (
+                        Outcome::Error,
+                        0,
+                        Some(format!("unexpected response: {:?}", other.to_json())),
+                    ),
+                    Err(err) => (Outcome::Error, 0, Some(err.to_string())),
+                };
+                samples.push(sample);
+            }
+            (samples, client.stats())
+        }
+        None => (
+            raw_worker(addr, jobs, &mut schedule),
+            crate::resilient::ResilienceStats::default(),
+        ),
+    }
+}
+
+/// The original single-shot path: one connection, no retries, failures
+/// tallied so saturation stays visible in the report.
+fn raw_worker(
+    addr: SocketAddr,
+    jobs: &[(ComputationSpec, Granularity)],
+    schedule: &mut Schedule,
 ) -> Vec<Sample> {
     let mut samples = Vec::new();
     let mut client = match Client::connect_timeout(addr, Duration::from_secs(5)) {
@@ -229,17 +378,14 @@ fn worker(
             // Connection refused: drain our share of the work as errors
             // so the report still accounts for every job.
             let mut first = Some(err.to_string());
-            while cursor.fetch_add(1, Ordering::Relaxed) < jobs.len() {
+            while schedule.next(jobs.len()).is_some() {
                 samples.push((Outcome::Error, 0, first.take()));
             }
             return samples;
         }
     };
-    loop {
-        let index = cursor.fetch_add(1, Ordering::Relaxed);
-        let Some((spec, granularity)) = jobs.get(index) else {
-            break;
-        };
+    while let Some(index) = schedule.next(jobs.len()) {
+        let (spec, granularity) = &jobs[index];
         let request = Request::Admit {
             computation: spec.clone(),
             granularity: *granularity,
@@ -274,7 +420,7 @@ fn worker(
                     Ok(fresh) => client = fresh,
                     Err(_) => {
                         let mut first = None;
-                        while cursor.fetch_add(1, Ordering::Relaxed) < jobs.len() {
+                        while schedule.next(jobs.len()).is_some() {
                             samples.push((Outcome::Error, 0, first.take()));
                         }
                         break;

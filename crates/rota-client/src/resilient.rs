@@ -1,0 +1,389 @@
+//! Retry, backoff, and hedging on top of the blocking [`Client`].
+//!
+//! A [`ResilientClient`] wraps one server address with three layers of
+//! fault tolerance, all deterministic under a seed:
+//!
+//! - **retry with exponential backoff + jitter** — transport errors and
+//!   `overloaded` bounces are retried up to [`RetryConfig::max_attempts`]
+//!   times; the delay doubles each attempt and is jittered to a
+//!   seeded-random point in `[50%, 100%]` of the nominal value so
+//!   retrying clients do not stampede in lockstep;
+//! - **per-request deadline budgets** — every admit gets
+//!   [`RetryConfig::budget`] of wall-clock time; a retry that cannot
+//!   fit its backoff sleep inside the remaining budget is abandoned and
+//!   the last outcome returned;
+//! - **deadline-aware hedging** — an optional second attempt fired when
+//!   the first has been in flight for the client's running p99 latency
+//!   estimate; whichever attempt answers first wins.
+//!
+//! Retrying an admit whose *response* was lost (connection reset,
+//! truncated frame) is safe because rota-server treats computation
+//! names as idempotency keys: the retry lands on the same shard
+//! (deterministic routing) and gets the original verdict from its
+//! decision cache rather than committing twice. The same property makes
+//! hedge duplicates harmless.
+
+use std::collections::VecDeque;
+use std::net::SocketAddr;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rota_actor::Granularity;
+use rota_server::protocol::{Request, Response};
+use rota_server::spec::ComputationSpec;
+
+use crate::{Client, ClientError};
+
+/// Retry/backoff/budget knobs. All defaults are intentionally modest;
+/// chaos tests crank `max_attempts` up.
+#[derive(Debug, Clone)]
+pub struct RetryConfig {
+    /// Total attempts per request (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt.
+    pub base_delay: Duration,
+    /// Ceiling on a single backoff sleep.
+    pub max_delay: Duration,
+    /// Wall-clock budget per request, covering every attempt and sleep.
+    pub budget: Duration,
+    /// Seed for the jitter stream (reproducible retry schedules).
+    pub seed: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            budget: Duration::from_secs(5),
+            seed: 0,
+        }
+    }
+}
+
+/// Hedged-request knobs.
+#[derive(Debug, Clone)]
+pub struct HedgeConfig {
+    /// Latency samples needed before the p99 estimate is trusted;
+    /// until then [`HedgeConfig::initial_delay`] is used.
+    pub min_samples: usize,
+    /// Hedge delay before enough samples exist.
+    pub initial_delay: Duration,
+    /// Lower clamp on the hedge delay (don't hedge *everything*).
+    pub floor: Duration,
+    /// Upper clamp on the hedge delay.
+    pub cap: Duration,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            min_samples: 16,
+            initial_delay: Duration::from_millis(50),
+            floor: Duration::from_millis(1),
+            cap: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Counters describing what the resilience layer actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Attempts sent (including firsts, retries, and hedges).
+    pub attempts: u64,
+    /// Retries after a transport error or `overloaded` bounce.
+    pub retries: u64,
+    /// Hedge attempts fired.
+    pub hedges: u64,
+    /// Requests won by the hedge attempt rather than the primary.
+    pub hedge_wins: u64,
+    /// Fresh connections dialed after a transport failure.
+    pub reconnects: u64,
+}
+
+/// How many recent request latencies feed the p99 hedge estimate.
+const LATENCY_WINDOW: usize = 256;
+
+/// A [`Client`] wrapper that retries, backs off, and (optionally)
+/// hedges — deterministically under [`RetryConfig::seed`].
+pub struct ResilientClient {
+    addr: SocketAddr,
+    retry: RetryConfig,
+    hedge: Option<HedgeConfig>,
+    rng: StdRng,
+    connection: Option<Client>,
+    latencies: VecDeque<u64>,
+    stats: ResilienceStats,
+}
+
+impl ResilientClient {
+    /// Builds a resilient client for `addr`; connections are dialed
+    /// lazily, so this never fails.
+    pub fn new(addr: SocketAddr, retry: RetryConfig) -> ResilientClient {
+        let rng = StdRng::seed_from_u64(retry.seed);
+        ResilientClient {
+            addr,
+            retry,
+            hedge: None,
+            rng,
+            connection: None,
+            latencies: VecDeque::new(),
+            stats: ResilienceStats::default(),
+        }
+    }
+
+    /// Enables hedged requests.
+    pub fn with_hedging(mut self, hedge: HedgeConfig) -> ResilientClient {
+        self.hedge = Some(hedge);
+        self
+    }
+
+    /// What the resilience layer has done so far.
+    pub fn stats(&self) -> ResilienceStats {
+        self.stats
+    }
+
+    /// The hedge delay currently in force: running p99 of the latency
+    /// window, clamped to `[floor, cap]`.
+    pub fn hedge_delay(&self) -> Option<Duration> {
+        let hedge = self.hedge.as_ref()?;
+        if self.latencies.len() < hedge.min_samples.max(1) {
+            return Some(hedge.initial_delay.clamp(hedge.floor, hedge.cap));
+        }
+        let mut sorted: Vec<u64> = self.latencies.iter().copied().collect();
+        sorted.sort_unstable();
+        let rank = (0.99 * (sorted.len() - 1) as f64).round() as usize;
+        let p99 = Duration::from_nanos(sorted[rank.min(sorted.len() - 1)]);
+        Some(p99.clamp(hedge.floor, hedge.cap))
+    }
+
+    /// Submits an admit with retries, backoff, budget, and hedging.
+    ///
+    /// Returns the first decisive response. `overloaded` is retried;
+    /// if retries or budget run out it is returned as-is (the caller
+    /// sees the backpressure instead of a fabricated error).
+    pub fn admit(
+        &mut self,
+        computation: ComputationSpec,
+        granularity: Granularity,
+    ) -> Result<Response, ClientError> {
+        let request = Request::Admit {
+            computation,
+            granularity,
+        };
+        let deadline = Instant::now() + self.retry.budget;
+        let mut last: Result<Response, ClientError> =
+            Err(ClientError::Server("no attempt made".into()));
+        for attempt in 0..self.retry.max_attempts.max(1) {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                let sleep = self.backoff(attempt);
+                // A retry we cannot afford (sleep would cross the
+                // budget deadline) is not attempted at all.
+                if Instant::now() + sleep >= deadline {
+                    return last;
+                }
+                std::thread::sleep(sleep);
+            }
+            let started = Instant::now();
+            let outcome = self.attempt(&request, deadline);
+            match outcome {
+                Ok(response @ Response::Overloaded { .. }) => {
+                    last = Ok(response);
+                }
+                Ok(response) => {
+                    self.record_latency(started.elapsed());
+                    return Ok(response);
+                }
+                Err(err) => {
+                    // The connection is suspect after any transport
+                    // error; next attempt dials fresh.
+                    self.connection = None;
+                    last = Err(err);
+                }
+            }
+            if Instant::now() >= deadline {
+                return last;
+            }
+        }
+        last
+    }
+
+    /// One attempt: hedged when configured, plain otherwise.
+    fn attempt(&mut self, request: &Request, deadline: Instant) -> Result<Response, ClientError> {
+        self.stats.attempts += 1;
+        match self.hedge_delay() {
+            Some(delay) => self.hedged_call(request, delay, deadline),
+            None => self.plain_call(request),
+        }
+    }
+
+    fn plain_call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        if self.connection.is_none() {
+            self.stats.reconnects += u64::from(self.stats.attempts > 1);
+            self.connection = Some(Client::connect_timeout(self.addr, Duration::from_secs(5))?);
+        }
+        let client = self.connection.as_mut().expect("dialed above");
+        request_on(client, request)
+    }
+
+    /// Fires the primary attempt on its own thread; if it has not
+    /// answered within `delay`, fires a hedge attempt on a second
+    /// connection. First answer wins; the loser's thread parks on a
+    /// dead channel and exits on its own.
+    fn hedged_call(
+        &mut self,
+        request: &Request,
+        delay: Duration,
+        deadline: Instant,
+    ) -> Result<Response, ClientError> {
+        let (tx, rx) = mpsc::channel::<(bool, Result<Response, ClientError>)>();
+        spawn_attempt(self.addr, request.clone(), false, tx.clone());
+        match rx.recv_timeout(delay) {
+            Ok((_, outcome)) => return outcome,
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(ClientError::Server("attempt thread died".into()))
+            }
+        }
+        self.stats.hedges += 1;
+        spawn_attempt(self.addr, request.clone(), true, tx);
+        let remaining = deadline
+            .saturating_duration_since(Instant::now())
+            .max(Duration::from_millis(1));
+        match rx.recv_timeout(remaining) {
+            Ok((hedged, outcome)) => {
+                if hedged && outcome.is_ok() {
+                    self.stats.hedge_wins += 1;
+                }
+                outcome
+            }
+            Err(_) => Err(ClientError::Server(
+                "request budget exhausted while hedging".into(),
+            )),
+        }
+    }
+
+    /// Nominal exponential backoff for `attempt` (1-based retry index),
+    /// jittered to a seeded-random point in `[50%, 100%]`.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let doubled = self
+            .retry
+            .base_delay
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let nominal = doubled.min(self.retry.max_delay);
+        let unit = (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        nominal.mul_f64(0.5 + 0.5 * unit)
+    }
+
+    fn record_latency(&mut self, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.latencies.push_back(ns);
+        if self.latencies.len() > LATENCY_WINDOW {
+            self.latencies.pop_front();
+        }
+    }
+}
+
+fn request_on(client: &mut Client, request: &Request) -> Result<Response, ClientError> {
+    match client.call(request)? {
+        Response::Error { message } => Err(ClientError::Server(message)),
+        response => Ok(response),
+    }
+}
+
+/// One attempt on its own thread and connection. The result channel may
+/// be gone by the time it answers (the other attempt won) — that is the
+/// normal fate of a losing hedge.
+fn spawn_attempt(
+    addr: SocketAddr,
+    request: Request,
+    hedged: bool,
+    tx: mpsc::Sender<(bool, Result<Response, ClientError>)>,
+) {
+    std::thread::spawn(move || {
+        let outcome = Client::connect_timeout(addr, Duration::from_secs(5))
+            .and_then(|mut client| request_on(&mut client, &request));
+        let _ = tx.send((hedged, outcome));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic() {
+        let retry = RetryConfig {
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            seed: 9,
+            ..RetryConfig::default()
+        };
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let mut a = ResilientClient::new(addr, retry.clone());
+        let mut b = ResilientClient::new(addr, retry);
+        for attempt in 1..=10 {
+            let da = a.backoff(attempt);
+            let db = b.backoff(attempt);
+            assert_eq!(da, db, "same seed, same schedule");
+            let nominal = Duration::from_millis(10)
+                .saturating_mul(1 << (attempt - 1).min(16))
+                .min(Duration::from_millis(100));
+            assert!(da <= nominal, "jitter only shrinks: {da:?} > {nominal:?}");
+            assert!(da >= nominal.mul_f64(0.5), "jitter floor: {da:?}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_jitter() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let mk = |seed| {
+            ResilientClient::new(
+                addr,
+                RetryConfig {
+                    seed,
+                    ..RetryConfig::default()
+                },
+            )
+        };
+        let (mut a, mut b) = (mk(1), mk(2));
+        let schedule_a: Vec<_> = (1..=8).map(|i| a.backoff(i)).collect();
+        let schedule_b: Vec<_> = (1..=8).map(|i| b.backoff(i)).collect();
+        assert_ne!(schedule_a, schedule_b);
+    }
+
+    #[test]
+    fn hedge_delay_clamps_and_warms_up() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let mut client = ResilientClient::new(addr, RetryConfig::default()).with_hedging(
+            HedgeConfig {
+                min_samples: 4,
+                initial_delay: Duration::from_millis(50),
+                floor: Duration::from_millis(2),
+                cap: Duration::from_millis(20),
+            },
+        );
+        // Cold: initial delay, clamped into [floor, cap].
+        assert_eq!(client.hedge_delay(), Some(Duration::from_millis(20)));
+        // Warm with fast samples: p99 below the floor clamps up.
+        for _ in 0..8 {
+            client.record_latency(Duration::from_micros(100));
+        }
+        assert_eq!(client.hedge_delay(), Some(Duration::from_millis(2)));
+        // Slow samples: p99 above the cap clamps down.
+        for _ in 0..8 {
+            client.record_latency(Duration::from_millis(400));
+        }
+        assert_eq!(client.hedge_delay(), Some(Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn no_hedge_config_means_no_hedging() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let client = ResilientClient::new(addr, RetryConfig::default());
+        assert_eq!(client.hedge_delay(), None);
+    }
+}

@@ -17,7 +17,11 @@
 //!   shutdown** that drains in-flight decisions ([`server`]);
 //! - observability through [`rota_obs`]: per-shard counters and
 //!   queue-depth gauges, decision-latency histograms, and a shared
-//!   journal of admit/reject events.
+//!   journal of admit/reject events;
+//! - **deterministic chaos**: a seeded [`fault::FaultPlan`] injects
+//!   latency, wire truncation/corruption, connection resets, and forced
+//!   shard panics ([`fault`]); panicked shard workers are isolated and
+//!   restarted instead of taking the process down ([`shard`]).
 //!
 //! The [`spec`] module is the JSON codec for resources and
 //! computations, shared with the `rota` CLI.
@@ -25,11 +29,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod protocol;
 pub mod server;
 pub mod shard;
 pub mod spec;
 
+pub use fault::{FaultInjector, FaultPlan};
 pub use protocol::{Request, Response, MAX_FRAME_BYTES};
 pub use server::{spawn_policy_by_name, Server, ServerConfig, ServerHandle, POLICY_NAMES};
 pub use shard::{route_request, shard_of, split_by_shard};

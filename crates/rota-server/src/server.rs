@@ -21,6 +21,7 @@ use rota_admission::{
 use rota_obs::{DecisionEvent, Journal, Registry};
 use rota_resource::ResourceSet;
 
+use crate::fault::{ConnectionFaults, FaultInjector, FaultPlan, WireFault};
 use crate::protocol::{read_frame, write_frame, FrameError, Request, Response, MAX_FRAME_BYTES};
 use crate::shard::ShardPool;
 use crate::spec;
@@ -40,6 +41,9 @@ pub struct ServerConfig {
     pub request_timeout: Duration,
     /// Connections silent for this long are reaped.
     pub idle_timeout: Duration,
+    /// Deterministic fault injection (chaos testing); `None` in
+    /// production.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +55,7 @@ impl Default for ServerConfig {
             max_frame_bytes: MAX_FRAME_BYTES,
             request_timeout: Duration::from_secs(5),
             idle_timeout: Duration::from_secs(30),
+            fault_plan: None,
         }
     }
 }
@@ -69,6 +74,7 @@ struct Inner {
     journal: Arc<Journal<DecisionEvent>>,
     cost_model: TableCostModel,
     config: ServerConfig,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl Inner {
@@ -197,6 +203,11 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let registry = Arc::new(Registry::new());
         let journal = Arc::new(Journal::new(4096));
+        let faults = config
+            .fault_plan
+            .clone()
+            .filter(FaultPlan::is_active)
+            .map(|plan| Arc::new(FaultInjector::new(plan, &registry)));
         let (pool, worker_handles) = ShardPool::spawn(
             policy,
             theta,
@@ -204,6 +215,7 @@ impl Server {
             config.queue_capacity,
             &registry,
             &journal,
+            faults.clone(),
         );
         let inner = Arc::new(Inner {
             pool: RwLock::new(Some(pool)),
@@ -212,6 +224,7 @@ impl Server {
             journal,
             cost_model: TableCostModel::paper(),
             config,
+            faults,
         });
         let acceptor_inner = Arc::clone(&inner);
         let acceptor = std::thread::Builder::new()
@@ -266,6 +279,7 @@ fn serve_connection(stream: TcpStream, inner: &Arc<Inner>) {
     });
     let mut writer = BufWriter::new(stream);
     let mut last_activity = Instant::now();
+    let mut faults = inner.faults.as_ref().map(|f| f.connection());
     loop {
         let line = match read_frame(&mut reader, inner.config.max_frame_bytes) {
             Ok(line) => line,
@@ -313,6 +327,18 @@ fn serve_connection(stream: TcpStream, inner: &Arc<Inner>) {
         if line.trim().is_empty() {
             continue;
         }
+        if let Some(conn_faults) = faults.as_mut() {
+            if let Some(delay) = conn_faults.latency() {
+                std::thread::sleep(delay);
+            }
+            // A reset here drops the request *before* any shard decides
+            // it, so a retrying client can never double-commit through
+            // this fault.
+            if conn_faults.reset_before_handling() {
+                shutdown_stream(&mut writer);
+                return;
+            }
+        }
         let (response, bye) = match Request::from_line(&line) {
             Ok(request) => {
                 let bye = matches!(request, Request::Shutdown);
@@ -328,13 +354,55 @@ fn serve_connection(stream: TcpStream, inner: &Arc<Inner>) {
                 )
             }
         };
-        if write_frame(&mut writer, &response.to_json()).is_err() {
-            return;
+        match write_response(&mut writer, &response, faults.as_mut()) {
+            Ok(false) => {}
+            // A wire fault destroyed the frame; the rest of the stream
+            // cannot be trusted, so hang up (the client must reconnect).
+            Ok(true) => {
+                shutdown_stream(&mut writer);
+                return;
+            }
+            Err(_) => return,
         }
         if bye {
             inner_begin_shutdown(inner);
             shutdown_stream(&mut writer);
             return;
+        }
+    }
+}
+
+/// Writes one response frame, applying the connection's wire fault (if
+/// any). Returns `Ok(true)` when the connection must close because the
+/// frame was deliberately destroyed.
+fn write_response(
+    writer: &mut BufWriter<TcpStream>,
+    response: &Response,
+    faults: Option<&mut ConnectionFaults<'_>>,
+) -> std::io::Result<bool> {
+    let Some(faults) = faults else {
+        write_frame(writer, &response.to_json())?;
+        return Ok(false);
+    };
+    let mut bytes = response.to_json().to_string().into_bytes();
+    match faults.wire_fault(bytes.len()) {
+        WireFault::None => {
+            bytes.push(b'\n');
+            writer.write_all(&bytes)?;
+            writer.flush()?;
+            Ok(false)
+        }
+        WireFault::Truncate(keep) => {
+            writer.write_all(&bytes[..keep])?;
+            writer.flush()?;
+            Ok(true)
+        }
+        WireFault::Corrupt(index) => {
+            bytes[index] ^= 0x01;
+            bytes.push(b'\n');
+            writer.write_all(&bytes)?;
+            writer.flush()?;
+            Ok(false)
         }
     }
 }

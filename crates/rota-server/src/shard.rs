@@ -16,8 +16,30 @@
 //! shard's queue is full the submitting connection gets
 //! [`Response::Overloaded`] immediately instead of the server buffering
 //! without bound.
+//!
+//! ## Panic isolation and idempotency
+//!
+//! A worker body that panics (an injected chaos drill, or a genuine
+//! controller bug) is caught with [`std::panic::catch_unwind`] and the
+//! worker restarts instead of the process dying. The waiter whose reply
+//! channel died mid-decision gets [`Response::Overloaded`] — an honest
+//! "try again" — and `server.shard.restarts{shard=N}` counts the event.
+//! An *injected* panic fires before the controller mutates, so its
+//! state is kept; an unrecognized panic rebuilds the controller from
+//! the shard's pristine resource slice (an amnesiac restart: prior
+//! commitments and offered resources are forgotten — see DESIGN.md §10).
+//!
+//! Computation names double as idempotency keys: each worker keeps a
+//! bounded FIFO cache of its recent verdicts, so a client that retries
+//! (because a response was lost to a reset or truncation) or hedges
+//! (duplicate in-flight attempt) gets the original verdict back instead
+//! of committing the same computation twice. Routing is deterministic
+//! by location hash, so a retry always lands on the shard that holds
+//! the cached verdict.
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -29,6 +51,7 @@ use rota_interval::TimePoint;
 use rota_obs::{Counter, DecisionEvent, Gauge, Histogram, Journal, Registry};
 use rota_resource::{Location, ResourceSet};
 
+use crate::fault::{self, FaultInjector};
 use crate::protocol::Response;
 
 /// Stable location → shard routing: FNV-1a over the location name.
@@ -91,6 +114,8 @@ struct ShardObs {
     overloaded: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     request_ns: Arc<Histogram>,
+    restarts: Arc<Counter>,
+    dedup_hits: Arc<Counter>,
 }
 
 impl ShardObs {
@@ -103,6 +128,42 @@ impl ShardObs {
                 &format!("server.request_ns{{shard={shard}}}"),
                 Histogram::latency_ns_bounds(),
             ),
+            restarts: registry.counter(&format!("server.shard.restarts{{shard={shard}}}")),
+            dedup_hits: registry.counter(&format!("server.shard.dedup_hits{{shard={shard}}}")),
+        }
+    }
+}
+
+/// Bounded FIFO cache of recent verdicts, keyed by computation name —
+/// the idempotency layer that keeps client retries and hedges from
+/// double-committing.
+struct DecisionCache {
+    capacity: usize,
+    order: VecDeque<String>,
+    verdicts: HashMap<String, Response>,
+}
+
+impl DecisionCache {
+    fn new(capacity: usize) -> DecisionCache {
+        DecisionCache {
+            capacity: capacity.max(1),
+            order: VecDeque::new(),
+            verdicts: HashMap::new(),
+        }
+    }
+
+    fn get(&self, name: &str) -> Option<&Response> {
+        self.verdicts.get(name)
+    }
+
+    fn insert(&mut self, name: String, response: Response) {
+        if self.verdicts.insert(name.clone(), response).is_none() {
+            self.order.push_back(name);
+            if self.order.len() > self.capacity {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.verdicts.remove(&evicted);
+                }
+            }
         }
     }
 }
@@ -121,7 +182,7 @@ impl ShardPool {
     /// Spawns `shards` workers, each owning a controller over its slice
     /// of `theta`, all journaling into `journal` and counting into
     /// `registry` (admission metrics labeled by `policy`, server metrics
-    /// by shard).
+    /// by shard). `faults` enables forced-panic chaos drills.
     pub(crate) fn spawn<P>(
         policy: P,
         theta: &ResourceSet,
@@ -129,6 +190,7 @@ impl ShardPool {
         queue_capacity: usize,
         registry: &Arc<Registry>,
         journal: &Arc<Journal<DecisionEvent>>,
+        faults: Option<Arc<FaultInjector>>,
     ) -> (ShardPool, Vec<JoinHandle<()>>)
     where
         P: AdmissionPolicy + Clone + Send + 'static,
@@ -141,15 +203,20 @@ impl ShardPool {
         for (shard, slice) in slices.into_iter().enumerate() {
             let (tx, rx) = sync_channel::<ShardMsg>(queue_capacity.max(1));
             let shard_obs = Arc::new(ShardObs::new(registry, shard));
-            let controller = AdmissionController::new(policy.clone(), slice, TimePoint::ZERO)
-                .with_obs(
-                    AdmissionObs::new(registry, policy.name()).with_journal(Arc::clone(journal)),
-                );
-            let worker_obs = Arc::clone(&shard_obs);
+            let worker = ShardWorker {
+                shard,
+                policy: policy.clone(),
+                pristine: slice,
+                registry: Arc::clone(registry),
+                journal: Arc::clone(journal),
+                obs: Arc::clone(&shard_obs),
+                faults: faults.clone(),
+                dedup: DecisionCache::new(DEDUP_CAPACITY),
+            };
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("rota-shard-{shard}"))
-                    .spawn(move || shard_worker(shard, controller, rx, worker_obs))
+                    .spawn(move || worker.run(&rx))
                     .expect("spawn shard worker"),
             );
             senders.push(tx);
@@ -189,7 +256,14 @@ impl ShardPool {
         }
         match reply_rx.recv_timeout(timeout) {
             Ok(response) => response,
-            Err(_) => Response::Error {
+            // A dropped reply sender means the worker panicked while
+            // holding our request (it restarts; the request was never
+            // decided). "Overloaded" is the honest verdict: try again.
+            Err(RecvTimeoutError::Disconnected) => {
+                obs.overloaded.inc();
+                Response::Overloaded { shard }
+            }
+            Err(RecvTimeoutError::Timeout) => Response::Error {
                 message: format!("request timed out after {}ms", timeout.as_millis()),
             },
         }
@@ -295,39 +369,106 @@ impl<T> SendTimeoutCompat<T> for SyncSender<T> {
     }
 }
 
-fn shard_worker<P: AdmissionPolicy>(
+/// Verdicts remembered per shard for retry/hedge idempotency. Bounded
+/// so a long-lived server cannot grow without limit; FIFO eviction is
+/// enough because retries arrive close behind the original.
+const DEDUP_CAPACITY: usize = 1024;
+
+/// Everything a shard worker needs to serve — and to *rebuild* its
+/// controller after an unrecognized panic.
+struct ShardWorker<P> {
     shard: usize,
-    mut controller: AdmissionController<P>,
-    rx: Receiver<ShardMsg>,
+    policy: P,
+    /// The shard's original resource slice, kept for amnesiac restarts.
+    pristine: ResourceSet,
+    registry: Arc<Registry>,
+    journal: Arc<Journal<DecisionEvent>>,
     obs: Arc<ShardObs>,
-) {
-    // Runs until every sender is gone (server drop/drain), serving what
-    // was already enqueued — the drain guarantee.
-    while let Ok(msg) = rx.recv() {
-        obs.queue_depth.add(-1);
-        match msg {
-            ShardMsg::Admit {
-                request,
-                enqueued,
-                reply,
-            } => {
-                let decision = controller.submit(&request);
-                obs.request_ns.observe(
-                    u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                );
-                let response = decision_response(&request, &decision, shard);
-                // The waiter may have timed out and hung up; that's fine.
-                let _ = reply.try_send(response);
+    faults: Option<Arc<FaultInjector>>,
+    dedup: DecisionCache,
+}
+
+impl<P: AdmissionPolicy + Clone> ShardWorker<P> {
+    fn fresh_controller(&self) -> AdmissionController<P> {
+        AdmissionController::new(self.policy.clone(), self.pristine.clone(), TimePoint::ZERO)
+            .with_obs(
+                AdmissionObs::new(&self.registry, self.policy.name())
+                    .with_journal(Arc::clone(&self.journal)),
+            )
+    }
+
+    /// Runs until every sender is gone (server drop/drain), serving what
+    /// was already enqueued — the drain guarantee. Panics in the serve
+    /// loop restart the worker instead of killing it; only the message
+    /// being served is lost (its waiter gets `overloaded` via the
+    /// dropped reply sender).
+    fn run(mut self, rx: &Receiver<ShardMsg>) {
+        let mut controller = self.fresh_controller();
+        loop {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                Self::serve(&mut self, &mut controller, rx)
+            }));
+            match outcome {
+                Ok(()) => return,
+                Err(payload) => {
+                    self.obs.restarts.inc();
+                    // An injected drill panics *before* the controller
+                    // mutates, so its state is intact. Anything else is
+                    // a real bug mid-decision: the controller may be
+                    // inconsistent, so rebuild from the pristine slice.
+                    // The dedup cache survives either way — already-
+                    // delivered verdicts stay authoritative.
+                    if !fault::is_injected_panic(payload.as_ref()) {
+                        controller = self.fresh_controller();
+                    }
+                }
             }
-            ShardMsg::Offer { theta, reply } => {
-                let result = controller
-                    .offer_resources(theta)
-                    .map(|()| 0)
-                    .map_err(|e| e.to_string());
-                let _ = reply.try_send(result);
-            }
-            ShardMsg::Stats { reply } => {
-                let _ = reply.try_send(controller.stats());
+        }
+    }
+
+    fn serve(&mut self, controller: &mut AdmissionController<P>, rx: &Receiver<ShardMsg>) {
+        while let Ok(msg) = rx.recv() {
+            self.obs.queue_depth.add(-1);
+            match msg {
+                ShardMsg::Admit {
+                    request,
+                    enqueued,
+                    reply,
+                } => {
+                    if let Some(verdict) = self.dedup.get(request.name()) {
+                        self.obs.dedup_hits.inc();
+                        let _ = reply.try_send(verdict.clone());
+                        continue;
+                    }
+                    if self
+                        .faults
+                        .as_ref()
+                        .is_some_and(|f| f.take_panic_ticket())
+                    {
+                        // Unwinding drops `reply`; the waiter sees a
+                        // disconnect and answers `overloaded`.
+                        panic!("{}", fault::INJECTED_PANIC);
+                    }
+                    let decision = controller.submit(&request);
+                    self.obs.request_ns.observe(
+                        u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    );
+                    let response = decision_response(&request, &decision, self.shard);
+                    self.dedup
+                        .insert(request.name().to_string(), response.clone());
+                    // The waiter may have timed out and hung up; that's fine.
+                    let _ = reply.try_send(response);
+                }
+                ShardMsg::Offer { theta, reply } => {
+                    let result = controller
+                        .offer_resources(theta)
+                        .map(|()| 0)
+                        .map_err(|e| e.to_string());
+                    let _ = reply.try_send(result);
+                }
+                ShardMsg::Stats { reply } => {
+                    let _ = reply.try_send(controller.stats());
+                }
             }
         }
     }
@@ -418,7 +559,7 @@ mod tests {
         let journal = Arc::new(Journal::new(64));
         let theta = theta_at(&["l0", "l1"], 4, 16);
         let (pool, handles) =
-            ShardPool::spawn(RotaPolicy, &theta, 2, 8, &registry, &journal);
+            ShardPool::spawn(RotaPolicy, &theta, 2, 8, &registry, &journal, None);
         let timeout = Duration::from_secs(5);
         // Feasible job at l0, infeasible (too much work) job at l1.
         let yes = pool.admit(request_at("yes", "l0", 1, 16), timeout);
@@ -456,6 +597,7 @@ mod tests {
             4,
             &registry,
             &journal,
+            None,
         );
         let timeout = Duration::from_secs(5);
         // Without resources the job is refused; after an offer it fits.
@@ -467,6 +609,70 @@ mod tests {
         }
         let after = pool.admit(request_at("j2", "l0", 1, 16), timeout);
         assert!(matches!(after, Response::Decision { accepted: true, .. }), "{after:?}");
+        drop(pool);
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn repeated_name_returns_cached_verdict() {
+        let registry = Arc::new(Registry::new());
+        let journal = Arc::new(Journal::new(64));
+        let theta = theta_at(&["l0"], 4, 16);
+        let (pool, handles) =
+            ShardPool::spawn(RotaPolicy, &theta, 1, 8, &registry, &journal, None);
+        let timeout = Duration::from_secs(5);
+        let first = pool.admit(request_at("same", "l0", 1, 16), timeout);
+        let again = pool.admit(request_at("same", "l0", 1, 16), timeout);
+        assert_eq!(first, again, "idempotent by computation name");
+        // Only the first submission reached the controller.
+        assert_eq!(journal.len(), 1);
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter("server.shard.dedup_hits{shard=0}"),
+            Some(1)
+        );
+        drop(pool);
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn injected_panic_restarts_worker_and_keeps_state() {
+        use crate::fault::{FaultInjector, FaultPlan};
+
+        let registry = Arc::new(Registry::new());
+        let journal = Arc::new(Journal::new(64));
+        let theta = theta_at(&["l0"], 4, 16);
+        let faults = Arc::new(FaultInjector::new(
+            FaultPlan {
+                panic_nth: Some(2),
+                ..FaultPlan::default()
+            },
+            &registry,
+        ));
+        let (pool, handles) =
+            ShardPool::spawn(RotaPolicy, &theta, 1, 8, &registry, &journal, Some(faults));
+        let timeout = Duration::from_secs(5);
+        // First admit fills the shard's slice partially and succeeds.
+        let first = pool.admit(request_at("p1", "l0", 1, 16), timeout);
+        assert!(matches!(first, Response::Decision { accepted: true, .. }), "{first:?}");
+        // Second admit trips the drill: the worker panics with our
+        // request in hand, so we get the honest `overloaded` bounce.
+        let bounced = pool.admit(request_at("p2", "l0", 1, 16), timeout);
+        assert!(matches!(bounced, Response::Overloaded { shard: 0 }), "{bounced:?}");
+        // The worker restarted with its controller intact: the retry is
+        // decided normally, and the first verdict is still cached.
+        let retried = pool.admit(request_at("p2", "l0", 1, 16), timeout);
+        assert!(matches!(retried, Response::Decision { .. }), "{retried:?}");
+        let replay = pool.admit(request_at("p1", "l0", 1, 16), timeout);
+        assert_eq!(replay, first, "dedup cache survived the restart");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("server.shard.restarts{shard=0}"), Some(1));
+        assert_eq!(snap.counter("server.faults.panic"), Some(1));
         drop(pool);
         for handle in handles {
             handle.join().unwrap();

@@ -1,0 +1,276 @@
+//! Property-based tests for the wire protocol and spec codecs.
+//!
+//! Two families:
+//!
+//! 1. **Round-trips** — arbitrary computations, resource sets, requests
+//!    and responses survive encode → decode unchanged. The JSON encoder
+//!    must escape whatever the generators throw at it (quotes,
+//!    backslashes, control characters, non-ASCII) and the decoder must
+//!    reconstruct the exact document.
+//! 2. **Robustness** — arbitrary byte-level mutations (bit flips,
+//!    truncations) of valid frames may be rejected with a protocol
+//!    error but must never panic the parser or the framing layer. This
+//!    is the guarantee the chaos layer's `truncate_p`/`corrupt_p`
+//!    faults lean on: a corrupted frame degrades to an `error`
+//!    response, not a crashed connection thread.
+
+use proptest::prelude::*;
+
+use rota_actor::{ActionKind, ActorComputation, ActorName, DistributedComputation};
+use rota_interval::{TimeInterval, TimePoint};
+use rota_resource::{LocatedType, Location, Rate, ResourceSet, ResourceTerm};
+use rota_server::protocol::{read_frame, Request, Response};
+use rota_server::spec::{
+    computation_to_json, resource_set, resource_set_to_json, resources_from_json,
+    ComputationSpec,
+};
+
+// ---------------------------------------------------------------------
+// generators
+// ---------------------------------------------------------------------
+
+/// Strings that stress the JSON escaper: quotes, backslashes, control
+/// characters, tabs/newlines, and multi-byte UTF-8.
+const ALPHABET: &[char] = &[
+    'a', 'Z', '7', ' ', '_', '"', '\\', '/', '\n', '\r', '\t', '\u{1}', '\u{1f}', 'λ', 'Ω',
+    '→', '🦀',
+];
+
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec((0usize..ALPHABET.len()).prop_map(|i| ALPHABET[i]), 0..12)
+        .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn arb_opt_string() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        Just(None),
+        arb_string().prop_map(Some),
+    ]
+}
+
+fn loc(i: u8) -> Location {
+    Location::new(format!("l{i}"))
+}
+
+fn arb_action() -> impl Strategy<Value = ActionKind> {
+    prop_oneof![
+        Just(ActionKind::evaluate()),
+        (1u64..9).prop_map(ActionKind::evaluate_units),
+        ((0u8..4), (0u8..4), 1u64..5).prop_map(|(peer, node, size)| ActionKind::Send {
+            to: ActorName::new(format!("peer{peer}")),
+            dest: loc(node),
+            size,
+        }),
+        (0u8..4).prop_map(|c| ActionKind::create(format!("child{c}"))),
+        Just(ActionKind::Ready),
+        (0u8..4).prop_map(|d| ActionKind::migrate(loc(d))),
+    ]
+}
+
+/// A well-formed distributed computation: 1–3 actors, each with 0–5
+/// actions, a window with `start < deadline`.
+fn arb_computation() -> impl Strategy<Value = DistributedComputation> {
+    (
+        proptest::collection::vec(
+            (proptest::collection::vec(arb_action(), 0..6), 0u8..4),
+            1..4,
+        ),
+        0u64..16,
+        1u64..32,
+    )
+        .prop_map(|(actor_specs, start, duration)| {
+            let actors = actor_specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (actions, origin))| {
+                    let mut gamma =
+                        ActorComputation::new(format!("a{i}"), format!("l{origin}"));
+                    for action in actions {
+                        gamma = gamma.then(action);
+                    }
+                    gamma
+                })
+                .collect();
+            DistributedComputation::new(
+                "prop-job",
+                actors,
+                TimePoint::new(start),
+                TimePoint::new(start + duration),
+            )
+            .expect("start < deadline by construction")
+        })
+}
+
+/// A resource set whose terms can never collide: term `i` lives at its
+/// own location `l{i}` (or link `l{i} → l{i+1}`), so insertion always
+/// succeeds regardless of the drawn kinds and windows.
+fn arb_resource_set() -> impl Strategy<Value = ResourceSet> {
+    proptest::collection::vec((0u8..3, 1u64..9, 0u64..10, 1u64..24), 0..6).prop_map(|terms| {
+        terms
+            .into_iter()
+            .enumerate()
+            .map(|(i, (kind, rate, start, len))| {
+                let i = i as u8;
+                let located = match kind {
+                    0 => LocatedType::cpu(loc(i)),
+                    1 => LocatedType::memory(loc(i)),
+                    _ => LocatedType::network(loc(i), loc(i + 1)),
+                };
+                let window = TimeInterval::from_ticks(start, start + len)
+                    .expect("len >= 1 by construction");
+                ResourceTerm::new(Rate::new(rate), window, located)
+            })
+            .collect::<ResourceSet>()
+    })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Pong),
+        Just(Response::Bye),
+        (0u64..10_000).prop_map(|terms| Response::Offered { terms }),
+        (0usize..64).prop_map(|shard| Response::Overloaded { shard }),
+        arb_string().prop_map(|message| Response::Error { message }),
+        (
+            arb_string(),
+            0u8..2,
+            0usize..16,
+            arb_string(),
+            arb_opt_string(),
+            arb_opt_string(),
+        )
+            .prop_map(|(computation, accepted, shard, reason, violated_term, clause)| {
+                Response::Decision {
+                    computation,
+                    accepted: accepted == 1,
+                    shard,
+                    reason,
+                    violated_term,
+                    clause,
+                }
+            }),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        Just(Request::Stats),
+        Just(Request::Metrics),
+        Just(Request::Shutdown),
+        arb_resource_set().prop_map(|theta| {
+            let doc = resource_set_to_json(&theta);
+            let resources = resources_from_json(doc.as_array().expect("sets encode as arrays"))
+                .expect("round-trip of a valid set");
+            Request::Offer { resources }
+        }),
+        (arb_computation(), 0u8..2).prop_map(|(lambda, g)| Request::Admit {
+            computation: ComputationSpec::from_json(&computation_to_json(&lambda))
+                .expect("computation_to_json emits valid specs"),
+            granularity: if g == 0 {
+                rota_actor::Granularity::PerAction
+            } else {
+                rota_actor::Granularity::MaximalRun
+            },
+        }),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// round-trips
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `computation_to_json → ComputationSpec::from_json → build →
+    /// computation_to_json` is the identity on the JSON document.
+    #[test]
+    fn computations_round_trip_through_spec_json(lambda in arb_computation()) {
+        let doc = computation_to_json(&lambda);
+        let spec = ComputationSpec::from_json(&doc).expect("encoder output parses");
+        let rebuilt = spec.build().expect("parsed spec rebuilds");
+        prop_assert_eq!(doc.to_string(), computation_to_json(&rebuilt).to_string());
+    }
+
+    /// Resource sets survive encode → parse → rebuild byte-identically.
+    #[test]
+    fn resource_sets_round_trip_through_spec_json(theta in arb_resource_set()) {
+        let doc = resource_set_to_json(&theta);
+        let specs = resources_from_json(doc.as_array().expect("array encoding"))
+            .expect("encoder output parses");
+        let rebuilt = resource_set(&specs).expect("parsed terms form a set");
+        prop_assert_eq!(doc.to_string(), resource_set_to_json(&rebuilt).to_string());
+    }
+
+    /// Responses — including reasons full of quotes, control characters
+    /// and non-ASCII — decode back to an equal value.
+    #[test]
+    fn responses_round_trip_through_frames(response in arb_response()) {
+        let line = response.to_json().to_string();
+        let decoded = Response::from_line(&line).expect("encoder output parses");
+        prop_assert_eq!(response, decoded);
+    }
+
+    /// Requests re-encode to the identical frame after one decode.
+    #[test]
+    fn requests_round_trip_through_frames(request in arb_request()) {
+        let line = request.to_json().to_string();
+        let decoded = Request::from_line(&line).expect("encoder output parses");
+        prop_assert_eq!(line, decoded.to_json().to_string());
+    }
+}
+
+// ---------------------------------------------------------------------
+// robustness: mutated frames never panic
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Flip up to four bytes of a valid frame and truncate it at an
+    /// arbitrary point: both parsers must return (Ok or Err), never
+    /// panic — exactly what the chaos layer's wire faults rely on.
+    #[test]
+    fn mutated_frames_never_panic_the_parsers(
+        response in arb_response(),
+        flips in proptest::collection::vec((0usize..4096, 0u16..256), 1..5),
+        cut in 0usize..4096,
+    ) {
+        let mut bytes = response.to_json().to_string().into_bytes();
+        for (position, value) in flips {
+            if bytes.is_empty() {
+                break;
+            }
+            let index = position % bytes.len();
+            bytes[index] = value as u8;
+        }
+        if !bytes.is_empty() {
+            bytes.truncate(1 + cut % bytes.len());
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = Response::from_line(&text);
+        let _ = Request::from_line(&text);
+    }
+
+    /// The framing layer itself survives mutated byte streams: it reads
+    /// a line or reports a frame error, and it enforces the size cap
+    /// without buffering past it.
+    #[test]
+    fn mutated_streams_never_panic_read_frame(
+        request in arb_request(),
+        flips in proptest::collection::vec((0usize..4096, 0u16..256), 1..5),
+        cap in 8usize..128,
+    ) {
+        let mut bytes = request.to_json().to_string().into_bytes();
+        for (position, value) in flips {
+            let index = position % bytes.len();
+            bytes[index] = value as u8;
+        }
+        bytes.push(b'\n');
+        let mut cursor = std::io::Cursor::new(bytes.clone());
+        let _ = read_frame(&mut cursor, cap);
+        let mut cursor = std::io::Cursor::new(bytes);
+        let _ = read_frame(&mut cursor, rota_server::MAX_FRAME_BYTES);
+    }
+}

@@ -5,7 +5,7 @@
 verify:
     cargo build --release
     cargo test -q
-    cargo clippy --workspace -- -D warnings
+    cargo clippy --workspace --all-targets -- -D warnings
 
 # Full benchmark sweep (slow; see EXPERIMENTS.md for recorded numbers).
 bench:
@@ -27,3 +27,12 @@ serve *ARGS:
 # from `just loadtest --policy all --jobs 2000 --connections 8`.
 loadtest *ARGS:
     cargo run --release -p rota-cli --bin rota-cli -- loadtest {{ARGS}}
+
+# The E14 chaos drill: deterministic faults (latency, truncation, resets,
+# one forced shard panic) against a retrying/hedging client. Must finish
+# with errors=0 and a shard restart on the server side (DESIGN.md §10).
+chaos *ARGS:
+    cargo run --release -p rota-cli --bin rota-cli -- loadtest \
+        --policy rota --nodes 4 --jobs 2000 --connections 8 --seed 42 \
+        --chaos "seed=42,latency_ms=2,latency_p=0.1,truncate_p=0.05,reset_p=0.03,panic_nth=500" \
+        {{ARGS}}
