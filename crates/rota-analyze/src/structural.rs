@@ -1,0 +1,117 @@
+//! Structural lints: shape problems visible from the declarations
+//! alone, with no pricing and no scheduling (R0001–R0005, R0013,
+//! R0014).
+
+use crate::diag::{Diagnostic, Report, Severity};
+use crate::model::SpecModel;
+
+pub(crate) fn run(model: &SpecModel, report: &mut Report) {
+    for (i, decl) in model.resources.iter().enumerate() {
+        if decl.end <= decl.start {
+            report.push(
+                Diagnostic::new(
+                    "R0001",
+                    Severity::Error,
+                    format!("resources[{i}].end"),
+                    format!(
+                        "resource {} declares the empty interval ({}, {})",
+                        decl.located, decl.start, decl.end
+                    ),
+                )
+                .with_note("intervals are half-open (start, end); `end` must exceed `start`"),
+            );
+        }
+        if decl.rate == 0 {
+            report.push(
+                Diagnostic::new(
+                    "R0002",
+                    Severity::Warning,
+                    format!("resources[{i}].rate"),
+                    format!("resource {} is declared at rate 0", decl.located),
+                )
+                .with_note("a zero-rate term supplies nothing and cannot help any computation"),
+            );
+        }
+    }
+
+    for (j, decl) in model.resources.iter().enumerate() {
+        if let Some(i) = model.resources[..j].iter().position(|earlier| {
+            earlier.located == decl.located && earlier.start == decl.start && earlier.end == decl.end
+        }) {
+            report.push(
+                Diagnostic::new(
+                    "R0004",
+                    Severity::Warning,
+                    format!("resources[{j}]"),
+                    format!(
+                        "duplicate declaration of {} over ({}, {})",
+                        decl.located, decl.start, decl.end
+                    ),
+                )
+                .with_note(format!("first declared at resources[{i}]; rates add up — if that is intended, declare one term with the combined rate")),
+            );
+        }
+    }
+
+    let c = &model.computation;
+    if c.deadline <= c.start {
+        report.push(
+            Diagnostic::new(
+                "R0003",
+                Severity::Error,
+                "computation.deadline",
+                format!(
+                    "deadline {} does not follow start {}; the window (s, d) is empty",
+                    c.deadline, c.start
+                ),
+            )
+            .with_note("no computation can be admitted into an empty window"),
+        );
+    }
+
+    for (j, actor) in c.actors.iter().enumerate() {
+        if let Some(i) = c.actors[..j].iter().position(|a| a.name == actor.name) {
+            report.push(
+                Diagnostic::new(
+                    "R0005",
+                    Severity::Error,
+                    format!("computation.actors[{j}].name"),
+                    format!("duplicate actor name `{}`", actor.name),
+                )
+                .with_note(format!(
+                    "first declared at computation.actors[{i}]; the system state keys commitments by actor name, so a second commitment for `{}` can never be installed", actor.name
+                )),
+            );
+        }
+        if actor.actions.is_empty() {
+            report.push(
+                Diagnostic::new(
+                    "R0013",
+                    Severity::Note,
+                    format!("computation.actors[{j}].actions"),
+                    format!("actor `{}` has no actions", actor.name),
+                )
+                .with_note("it demands nothing and contributes nothing to the computation"),
+            );
+        }
+    }
+
+    if c.deadline > c.start {
+        for (i, decl) in model.resources.iter().enumerate() {
+            if decl.end > decl.start && (decl.end <= c.start || decl.start >= c.deadline) {
+                report.push(
+                    Diagnostic::new(
+                        "R0014",
+                        Severity::Warning,
+                        format!("resources[{i}]"),
+                        format!(
+                            "resource {} over ({}, {}) lies entirely outside the computation window ({}, {})",
+                            decl.located, decl.start, decl.end, c.start, c.deadline
+                        ),
+                    )
+                    .with_note("it can never serve this computation"),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! E15 — static-analysis overhead: the `rota-analyze` lint pipeline
+//! versus the admission decision it precedes, across computation sizes
+//! (see EXPERIMENTS.md E15).
+//!
+//! Three configurations matter: the full pipeline (`analyze_with`, what
+//! `rota-cli check` runs per spec), the structural-only subset
+//! (`analyze_structural`, what `rota-workload` self-validation runs per
+//! generated job), and the serving-layer prevalidation (`prevalidate`,
+//! what every `rota-server` shard runs per admit request, against the
+//! shard's live supply). Each is compared to `RotaPolicy::decide` on
+//! the same request — the work the lint fronts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rota_actor::{
+    ActionKind, ActorComputation, DistributedComputation, Granularity, TableCostModel,
+};
+use rota_admission::{AdmissionPolicy, AdmissionRequest, RotaPolicy};
+use rota_analyze::{analyze_structural, analyze_with, prevalidate, SpecModel};
+use rota_interval::{TimeInterval, TimePoint};
+use rota_logic::State;
+use rota_resource::{LocatedType, Location, Rate, ResourceSet, ResourceTerm};
+
+const HORIZON: u64 = 4_096;
+const NODES: usize = 8;
+
+fn theta() -> ResourceSet {
+    let window = TimeInterval::from_ticks(0, HORIZON).expect("valid");
+    let mut set = ResourceSet::new();
+    for i in 0..NODES {
+        set.insert(ResourceTerm::new(
+            Rate::new(4),
+            window,
+            LocatedType::cpu(Location::new(format!("l{i}"))),
+        ))
+        .expect("bounded rates");
+        let next = (i + 1) % NODES;
+        set.insert(ResourceTerm::new(
+            Rate::new(4),
+            window,
+            LocatedType::network(
+                Location::new(format!("l{i}")),
+                Location::new(format!("l{next}")),
+            ),
+        ))
+        .expect("bounded rates");
+    }
+    set
+}
+
+/// A fork-join of `actors` actors round-robined over the nodes, two
+/// evaluations each — the E4 probe shape, scaled.
+fn job(actors: usize) -> DistributedComputation {
+    let gammas = (0..actors)
+        .map(|k| {
+            ActorComputation::new(format!("a{k}"), format!("l{}", k % NODES))
+                .then(ActionKind::evaluate())
+                .then(ActionKind::evaluate())
+        })
+        .collect();
+    DistributedComputation::new("probe", gammas, TimePoint::ZERO, TimePoint::new(HORIZON))
+        .expect("deadline > 0")
+}
+
+fn bench_analyze_vs_decide(c: &mut Criterion) {
+    let phi = TableCostModel::paper();
+    let theta = theta();
+    let state = State::new(theta.clone(), TimePoint::ZERO);
+    let mut group = c.benchmark_group("e15/analyze_vs_decide");
+    group.sample_size(20);
+    for &n in &[1usize, 8, 32] {
+        let lambda = job(n);
+        let model = SpecModel::from_parts(&theta.to_terms(), &lambda);
+        let request = AdmissionRequest::price(lambda, &phi, Granularity::MaximalRun);
+        let demand = request.requirement().total_demand();
+        group.bench_with_input(BenchmarkId::new("analyze-full", n), &n, |b, _| {
+            b.iter(|| black_box(analyze_with(&model, &phi, Granularity::MaximalRun).has_errors()))
+        });
+        group.bench_with_input(BenchmarkId::new("analyze-structural", n), &n, |b, _| {
+            b.iter(|| black_box(analyze_structural(&model).has_errors()))
+        });
+        group.bench_with_input(BenchmarkId::new("prevalidate", n), &n, |b, _| {
+            b.iter(|| black_box(prevalidate(&model, &demand).has_errors()))
+        });
+        group.bench_with_input(BenchmarkId::new("policy-decide", n), &n, |b, _| {
+            b.iter(|| black_box(RotaPolicy.decide(&state, &request).is_accept()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyze_vs_decide);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! `rota` — deadline assurance from the command line.
 //!
 //! ```text
-//! rota check <spec.json> [--granularity per-action|maximal-run]
+//! rota check <spec.json> [--granularity per-action|maximal-run] [--format text|json]
 //! rota simulate [--seed N] [--load X] [--nodes N] [--horizon T]
 //!               [--shape chain|forkjoin|pipeline|mixed]
 //!               [--policy rota|naive|optimistic|edf] [--churn P]
@@ -12,8 +12,13 @@
 //! ```
 //!
 //! `check` reads a JSON system+computation spec (see
-//! `rota_server::spec`) and prints the admission verdict with the
-//! schedule ROTA would pin the computation to. `simulate` and `compare`
+//! `rota_server::spec`), runs the `rota-analyze` lint passes over it
+//! (stable `R`-coded diagnostics with source spans; errors exit `1`
+//! without consulting the policy), and — when the lints pass — prints
+//! the admission verdict with the schedule ROTA would pin the
+//! computation to (`0` admissible, `2` infeasible). `--format json`
+//! emits the diagnostics and verdict as one machine-readable
+//! document. `simulate` and `compare`
 //! run seeded synthetic open-system workloads. `stats` runs an
 //! instrumented demo (admission under overload plus one model-check)
 //! and dumps the metrics registry and the decision journal. `serve`
@@ -21,6 +26,8 @@
 //! generated traffic and reports throughput/latency/acceptance. Every
 //! subcommand accepts `--metrics-out <path>` to write its run's metric
 //! snapshot and decisions as JSON.
+
+#![forbid(unsafe_code)]
 
 mod formula;
 
@@ -68,6 +75,8 @@ fn print_usage() {
     eprintln!();
     eprintln!("USAGE:");
     eprintln!("  rota check <spec.json> [--granularity per-action|maximal-run]");
+    eprintln!("             [--format text|json]   (lint + admission; exits 1 on lint");
+    eprintln!("             errors without consulting the policy, 2 on INFEASIBLE)");
     eprintln!("  rota simulate [--seed N] [--load X] [--nodes N] [--horizon T]");
     eprintln!("                [--shape chain|forkjoin|pipeline|mixed]");
     eprintln!("                [--policy rota|naive|optimistic|edf] [--churn P]");
@@ -147,6 +156,14 @@ fn cmd_check(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let format_json = match flag(args, "--format").as_deref() {
+        Some("json") => true,
+        Some("text") | None => false,
+        Some(other) => {
+            eprintln!("check: unknown format `{other}`, expected `text` or `json`");
+            return ExitCode::FAILURE;
+        }
+    };
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -161,21 +178,85 @@ fn cmd_check(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Static analysis before any admission machinery: the lint passes
+    // see the declarations as written, including content the library
+    // types refuse to represent, and anchor findings to source spans.
+    let report = rota_analyze::analyze_with(
+        &spec.analysis_model(),
+        &rota_actor::TableCostModel::paper(),
+        granularity,
+    );
+    if format_json {
+        let (verdict, code) = if report.has_errors() {
+            ("lint-error", ExitCode::FAILURE)
+        } else {
+            match check_verdict(&spec, granularity, args, true) {
+                Ok(code) if code == ExitCode::SUCCESS => ("admissible", code),
+                Ok(code) => ("infeasible", code),
+                Err(code) => return code,
+            }
+        };
+        println!(
+            "{}",
+            Json::Obj(vec![
+                ("file".into(), Json::Str(path.clone())),
+                ("verdict".into(), Json::Str(verdict.into())),
+                (
+                    "errors".into(),
+                    Json::Num(report.count(rota_analyze::Severity::Error) as f64),
+                ),
+                (
+                    "warnings".into(),
+                    Json::Num(report.count(rota_analyze::Severity::Warning) as f64),
+                ),
+                ("diagnostics".into(), report.to_json(Some(&text))),
+            ])
+            .pretty()
+        );
+        return code;
+    }
+    let rendered = report.render(Some(path), Some(&text));
+    if !rendered.is_empty() {
+        eprint!("{rendered}");
+    }
+    if report.has_errors() {
+        eprintln!("check: spec has lint errors; admission not attempted");
+        return ExitCode::FAILURE;
+    }
+    match check_verdict(&spec, granularity, args, false) {
+        Ok(code) | Err(code) => code,
+    }
+}
+
+/// Prices the spec and asks the admission controller for a verdict,
+/// printing the human report unless `quiet`. `Ok` carries the exit
+/// code for a decided spec (success or the INFEASIBLE `2`); `Err`
+/// carries the code for a spec that could not be decided at all.
+fn check_verdict(
+    spec: &CheckSpec,
+    granularity: Granularity,
+    args: &[String],
+    quiet: bool,
+) -> Result<ExitCode, ExitCode> {
     let (theta, lambda) = match (spec.resources(), spec.computation()) {
         (Ok(t), Ok(l)) => (t, l),
         (Err(e), _) | (_, Err(e)) => {
             eprintln!("check: {e}");
-            return ExitCode::FAILURE;
+            return Err(ExitCode::FAILURE);
         }
     };
-    println!("system Θ     : {theta}");
-    println!("computation  : {lambda}");
+    if !quiet {
+        println!("system Θ     : {theta}");
+        println!("computation  : {lambda}");
+    }
     let request = AdmissionRequest::price(
         lambda,
         &rota_actor::TableCostModel::paper(),
         granularity,
     );
-    println!("requirement  : {}", request.requirement());
+    if !quiet {
+        println!("requirement  : {}", request.requirement());
+    }
     // Decide through an instrumented controller so --metrics-out captures
     // the decision counters and the journal's explanation.
     let registry = Registry::new();
@@ -184,29 +265,33 @@ fn cmd_check(args: &[String]) -> ExitCode {
     let decision = ctl.submit(&request);
     let code = match &decision {
         Decision::Accept(commitments) => {
-            println!("verdict      : ADMISSIBLE — the deadline is assured");
-            for c in commitments {
-                println!("  actor {}", c.actor());
-                for seg in c.pending() {
-                    println!("    {}", seg.requirement());
+            if !quiet {
+                println!("verdict      : ADMISSIBLE — the deadline is assured");
+                for c in commitments {
+                    println!("  actor {}", c.actor());
+                    for seg in c.pending() {
+                        println!("    {}", seg.requirement());
+                    }
                 }
+                println!();
+                print_gantt(commitments, request.window());
             }
-            println!();
-            print_gantt(commitments, request.window());
             ExitCode::SUCCESS
         }
         Decision::Reject(reason) => {
-            println!("verdict      : INFEASIBLE — {reason}");
-            if let Some(term) = reason.violated_term() {
-                println!("violated     : {term} ({})", reason.clause());
+            if !quiet {
+                println!("verdict      : INFEASIBLE — {reason}");
+                if let Some(term) = reason.violated_term() {
+                    println!("violated     : {term} ({})", reason.clause());
+                }
             }
             ExitCode::from(2)
         }
     };
     if !write_metrics_out(args, &registry, &ctl.explain()) {
-        return ExitCode::FAILURE;
+        return Err(ExitCode::FAILURE);
     }
-    code
+    Ok(code)
 }
 
 /// Renders the pinned schedule as a per-actor text timeline: digits mark

@@ -205,6 +205,8 @@ pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, ClientErr
     let mut retries = 0u64;
     let mut hedges = 0u64;
     for handle in handles {
+        // PANIC-OK: a worker panic is a harness bug; crash loudly
+        // rather than report a partial, silently-wrong load test.
         let (samples, stats) = handle.join().expect("loadtest worker panicked");
         outcomes.extend(samples);
         retries += stats.retries;

@@ -221,11 +221,13 @@ impl ResilientClient {
     }
 
     fn plain_call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        if self.connection.is_none() {
-            self.stats.reconnects += u64::from(self.stats.attempts > 1);
-            self.connection = Some(Client::connect_timeout(self.addr, Duration::from_secs(5))?);
-        }
-        let client = self.connection.as_mut().expect("dialed above");
+        let client = match &mut self.connection {
+            Some(client) => client,
+            slot @ None => {
+                self.stats.reconnects += u64::from(self.stats.attempts > 1);
+                slot.insert(Client::connect_timeout(self.addr, Duration::from_secs(5))?)
+            }
+        };
         request_on(client, request)
     }
 

@@ -184,6 +184,10 @@ pub enum Response {
         violated_term: Option<String>,
         /// For rejections: the failing theorem clause.
         clause: Option<String>,
+        /// For lint-stage rejections: structured analyzer diagnostics
+        /// (see `rota-analyze`), each in `Diagnostic::to_json` form.
+        /// Empty for policy verdicts; omitted from the wire when empty.
+        diagnostics: Vec<Json>,
     },
     /// Reply to `offer`: how many terms were installed.
     Offered {
@@ -236,9 +240,9 @@ impl Response {
                 reason,
                 violated_term,
                 clause,
-            } => ok_obj(
-                "decision",
-                vec![
+                diagnostics,
+            } => {
+                let mut pairs = vec![
                     ("computation".into(), Json::Str(computation.clone())),
                     ("accepted".into(), Json::Bool(*accepted)),
                     ("shard".into(), Json::Num(*shard as f64)),
@@ -253,8 +257,12 @@ impl Response {
                         "clause".into(),
                         clause.as_ref().map_or(Json::Null, |c| Json::Str(c.clone())),
                     ),
-                ],
-            ),
+                ];
+                if !diagnostics.is_empty() {
+                    pairs.push(("diagnostics".into(), Json::Arr(diagnostics.clone())));
+                }
+                ok_obj("decision", pairs)
+            }
             Response::Offered { terms } => {
                 ok_obj("offered", vec![("terms".into(), Json::Num(*terms as f64))])
             }
@@ -306,6 +314,15 @@ impl Response {
                 reason: fields.str("reason")?,
                 violated_term: opt_str(&fields, "violated_term")?,
                 clause: opt_str(&fields, "clause")?,
+                diagnostics: match fields.optional("diagnostics") {
+                    None | Some(Json::Null) => Vec::new(),
+                    Some(v) => v
+                        .as_array()
+                        .ok_or_else(|| {
+                            SpecError::Parse("response: `diagnostics` must be an array".into())
+                        })?
+                        .to_vec(),
+                },
             }),
             "offered" => Ok(Response::Offered {
                 terms: fields.u64("terms")?,
@@ -560,6 +577,21 @@ mod tests {
                 reason: "segment 0 short".into(),
                 violated_term: Some("cpu[0,8) short by 2".into()),
                 clause: Some("Theorem 4: segment feasibility".into()),
+                diagnostics: Vec::new(),
+            },
+            Response::Decision {
+                computation: "linted".into(),
+                accepted: false,
+                shard: 0,
+                reason: "1 lint error".into(),
+                violated_term: None,
+                clause: Some("static analysis".into()),
+                diagnostics: vec![Json::Obj(vec![
+                    ("code".into(), Json::Str("R0006".into())),
+                    ("severity".into(), Json::Str("error".into())),
+                    ("message".into(), Json::Str("no such resource".into())),
+                    ("path".into(), Json::Str("computation.actors[0]".into())),
+                ])],
             },
             Response::Offered { terms: 4 },
             Response::Stats {

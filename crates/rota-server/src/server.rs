@@ -49,7 +49,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            addr: "127.0.0.1:0".parse().expect("static addr"),
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             shards: 4,
             queue_capacity: 64,
             max_frame_bytes: MAX_FRAME_BYTES,
@@ -113,7 +113,12 @@ impl Inner {
     }
 
     fn with_pool(&self, f: impl FnOnce(&ShardPool) -> Response) -> Response {
-        let guard = self.pool.read().expect("pool lock");
+        // A poisoned lock means a worker panicked mid-write; the pool
+        // itself is only ever replaced wholesale, so keep serving.
+        let guard = self
+            .pool
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         match guard.as_ref() {
             Some(pool) => f(pool),
             None => Response::Error {
@@ -164,16 +169,31 @@ impl ServerHandle {
         if !self.inner.shutting_down.swap(true, Ordering::SeqCst) {
             // Dropping the pool drops every shard sender: workers finish
             // the requests already queued, then exit.
-            self.inner.pool.write().expect("pool lock").take();
+            self.inner
+                .pool
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take();
         }
         // The acceptor blocks in accept(); poke it awake so it can see
         // the flag even if the flag was raised by a protocol `shutdown`
         // verb. Connect errors just mean it already exited.
         let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(250));
-        if let Some(handle) = self.acceptor.lock().expect("acceptor lock").take() {
+        let acceptor = self
+            .acceptor
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        if let Some(handle) = acceptor {
             let _ = handle.join();
         }
-        for handle in self.workers.lock().expect("workers lock").drain(..) {
+        let workers: Vec<_> = self
+            .workers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for handle in workers {
             let _ = handle.join();
         }
     }
@@ -418,7 +438,11 @@ fn inner_begin_shutdown(inner: &Arc<Inner>) {
     if inner.shutting_down.swap(true, Ordering::SeqCst) {
         return;
     }
-    inner.pool.write().expect("pool lock").take();
+    inner
+        .pool
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take();
 }
 
 /// Names accepted by [`spawn_policy_by_name`].

@@ -29,13 +29,28 @@
 //! the shard's pristine resource slice (an amnesiac restart: prior
 //! commitments and offered resources are forgotten — see DESIGN.md §10).
 //!
-//! Computation names double as idempotency keys: each worker keeps a
-//! bounded FIFO cache of its recent verdicts, so a client that retries
+//! Computation names are idempotency keys, but a verdict is only
+//! replayed when the retry's *content hash* (name, computation body,
+//! priced requirement) matches the original's: a client that retries
 //! (because a response was lost to a reset or truncation) or hedges
-//! (duplicate in-flight attempt) gets the original verdict back instead
-//! of committing the same computation twice. Routing is deterministic
-//! by location hash, so a retry always lands on the shard that holds
-//! the cached verdict.
+//! (duplicate in-flight attempt) gets the original verdict back
+//! instead of committing the same computation twice, while a
+//! *different* computation reusing a decided name is answered with an
+//! explicit idempotency-conflict error — the stale verdict would be a
+//! lie, and deciding it fresh would double-commit the same actor
+//! names. Routing is deterministic by location hash, so a retry
+//! always lands on the shard that holds the cached verdict.
+//!
+//! ## Pre-admission validation
+//!
+//! Before a request reaches the policy, the worker runs the
+//! `rota-analyze` pre-admission lints against its live resource slice
+//! ([`rota_analyze::prevalidate`]): structural defects and demand on
+//! located types the shard has no supply for (R0006) are rejected
+//! immediately with the structured diagnostics attached to the
+//! decision, counted by `server.shard.lint_rejects{shard=N}`. Capacity
+//! and deadline feasibility stay with the policy, whose verdict
+//! carries the theorem-grade attribution.
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -47,6 +62,7 @@ use std::time::{Duration, Instant};
 use rota_admission::{
     AdmissionController, AdmissionObs, AdmissionPolicy, AdmissionRequest, ControllerStats, Decision,
 };
+use rota_analyze::{prevalidate, Report as LintReport, Severity as LintSeverity, SpecModel};
 use rota_interval::TimePoint;
 use rota_obs::{Counter, DecisionEvent, Gauge, Histogram, Journal, Registry};
 use rota_resource::{Location, ResourceSet};
@@ -79,6 +95,8 @@ pub fn split_by_shard(theta: &ResourceSet, shards: usize) -> Vec<ResourceSet> {
     parts
         .into_iter()
         .map(|terms| {
+            // PANIC-OK: terms came out of a valid ResourceSet, so the
+            // subset cannot overflow; failure here is a library bug.
             ResourceSet::from_terms(terms).expect("subset of a valid set remains valid")
         })
         .collect()
@@ -116,6 +134,7 @@ struct ShardObs {
     request_ns: Arc<Histogram>,
     restarts: Arc<Counter>,
     dedup_hits: Arc<Counter>,
+    lint_rejects: Arc<Counter>,
 }
 
 impl ShardObs {
@@ -130,17 +149,45 @@ impl ShardObs {
             ),
             restarts: registry.counter(&format!("server.shard.restarts{{shard={shard}}}")),
             dedup_hits: registry.counter(&format!("server.shard.dedup_hits{{shard={shard}}}")),
+            lint_rejects: registry.counter(&format!("server.shard.lint_rejects{{shard={shard}}}")),
         }
     }
 }
 
-/// Bounded FIFO cache of recent verdicts, keyed by computation name —
+/// The idempotency identity of a request: FNV-1a over its full debug
+/// form, which covers the name, the computation body, and the priced
+/// requirement. Two submissions dedup only when they are the *same*
+/// request — a different body reusing a name hashes differently and
+/// is decided on its own merits.
+fn dedup_key(request: &AdmissionRequest) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in format!("{request:?}").bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// What the cache knows about a retried name.
+enum CacheLookup<'a> {
+    /// Never seen: decide it.
+    Miss,
+    /// Same name, same content: replay the verdict.
+    Replay(&'a Response),
+    /// Same name, different content: refuse — the name was already
+    /// decided for a different computation.
+    Conflict,
+}
+
+/// Bounded FIFO cache of recent verdicts, keyed by computation name
+/// with the request's content hash ([`dedup_key`]) stored alongside —
 /// the idempotency layer that keeps client retries and hedges from
-/// double-committing.
+/// double-committing, without ever replaying a verdict for a body it
+/// was not decided on.
 struct DecisionCache {
     capacity: usize,
     order: VecDeque<String>,
-    verdicts: HashMap<String, Response>,
+    verdicts: HashMap<String, (u64, Response)>,
 }
 
 impl DecisionCache {
@@ -152,12 +199,22 @@ impl DecisionCache {
         }
     }
 
-    fn get(&self, name: &str) -> Option<&Response> {
-        self.verdicts.get(name)
+    fn lookup(&self, name: &str, hash: u64) -> CacheLookup<'_> {
+        match self.verdicts.get(name) {
+            None => CacheLookup::Miss,
+            Some((cached_hash, response)) if *cached_hash == hash => {
+                CacheLookup::Replay(response)
+            }
+            Some(_) => CacheLookup::Conflict,
+        }
     }
 
-    fn insert(&mut self, name: String, response: Response) {
-        if self.verdicts.insert(name.clone(), response).is_none() {
+    fn insert(&mut self, name: String, hash: u64, response: Response) {
+        if self
+            .verdicts
+            .insert(name.clone(), (hash, response))
+            .is_none()
+        {
             self.order.push_back(name);
             if self.order.len() > self.capacity {
                 if let Some(evicted) = self.order.pop_front() {
@@ -217,6 +274,8 @@ impl ShardPool {
                 std::thread::Builder::new()
                     .name(format!("rota-shard-{shard}"))
                     .spawn(move || worker.run(&rx))
+                    // PANIC-OK: thread spawn fails only when the OS is out
+                    // of resources at startup; that is fatal by design.
                     .expect("spawn shard worker"),
             );
             senders.push(tx);
@@ -435,10 +494,25 @@ impl<P: AdmissionPolicy + Clone> ShardWorker<P> {
                     enqueued,
                     reply,
                 } => {
-                    if let Some(verdict) = self.dedup.get(request.name()) {
-                        self.obs.dedup_hits.inc();
-                        let _ = reply.try_send(verdict.clone());
-                        continue;
+                    let key = dedup_key(&request);
+                    match self.dedup.lookup(request.name(), key) {
+                        CacheLookup::Replay(verdict) => {
+                            self.obs.dedup_hits.inc();
+                            let verdict = verdict.clone();
+                            let _ = reply.try_send(verdict);
+                            continue;
+                        }
+                        CacheLookup::Conflict => {
+                            let _ = reply.try_send(Response::Error {
+                                message: format!(
+                                    "idempotency conflict: computation `{}` was already \
+                                     decided with different content; use a fresh name",
+                                    request.name()
+                                ),
+                            });
+                            continue;
+                        }
+                        CacheLookup::Miss => {}
                     }
                     if self
                         .faults
@@ -449,13 +523,30 @@ impl<P: AdmissionPolicy + Clone> ShardWorker<P> {
                         // disconnect and answers `overloaded`.
                         panic!("{}", fault::INJECTED_PANIC);
                     }
+                    // Pre-admission static analysis against this
+                    // shard's live supply: structurally broken
+                    // requests bounce with machine diagnostics before
+                    // the policy spends scheduling time on them.
+                    let model = SpecModel::from_parts(
+                        &controller.state().theta().to_terms(),
+                        request.computation(),
+                    );
+                    let lint = prevalidate(&model, &request.requirement().total_demand());
+                    if lint.has_errors() {
+                        self.obs.lint_rejects.inc();
+                        let response = lint_response(&request, &lint, self.shard);
+                        self.dedup
+                            .insert(request.name().to_string(), key, response.clone());
+                        let _ = reply.try_send(response);
+                        continue;
+                    }
                     let decision = controller.submit(&request);
                     self.obs.request_ns.observe(
                         u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX),
                     );
                     let response = decision_response(&request, &decision, self.shard);
                     self.dedup
-                        .insert(request.name().to_string(), response.clone());
+                        .insert(request.name().to_string(), key, response.clone());
                     // The waiter may have timed out and hung up; that's fine.
                     let _ = reply.try_send(response);
                 }
@@ -483,6 +574,7 @@ fn decision_response(request: &AdmissionRequest, decision: &Decision, shard: usi
             reason: format!("{} commitment(s) scheduled", commitments.len()),
             violated_term: None,
             clause: None,
+            diagnostics: Vec::new(),
         },
         Decision::Reject(reject) => Response::Decision {
             computation: request.name().to_string(),
@@ -491,7 +583,30 @@ fn decision_response(request: &AdmissionRequest, decision: &Decision, shard: usi
             reason: reject.to_string(),
             violated_term: reject.violated_term().map(str::to_string),
             clause: Some(reject.clause().to_string()),
+            diagnostics: Vec::new(),
         },
+    }
+}
+
+/// The decision for a request that failed pre-admission lints: a
+/// rejection whose grounds are the analyzer's diagnostics rather than
+/// a policy verdict.
+fn lint_response(request: &AdmissionRequest, report: &LintReport, shard: usize) -> Response {
+    let errors = report.count(LintSeverity::Error);
+    Response::Decision {
+        computation: request.name().to_string(),
+        accepted: false,
+        shard,
+        reason: format!(
+            "rejected by static analysis: {errors} lint error(s) (policy not consulted)"
+        ),
+        violated_term: None,
+        clause: Some("static analysis (pre-admission)".to_string()),
+        diagnostics: report
+            .diagnostics()
+            .iter()
+            .map(|d| d.to_json(None))
+            .collect(),
     }
 }
 
@@ -625,13 +740,99 @@ mod tests {
         let timeout = Duration::from_secs(5);
         let first = pool.admit(request_at("same", "l0", 1, 16), timeout);
         let again = pool.admit(request_at("same", "l0", 1, 16), timeout);
-        assert_eq!(first, again, "idempotent by computation name");
+        assert_eq!(first, again, "idempotent by request content");
         // Only the first submission reached the controller.
         assert_eq!(journal.len(), 1);
         assert_eq!(
             registry
                 .snapshot()
                 .counter("server.shard.dedup_hits{shard=0}"),
+            Some(1)
+        );
+        drop(pool);
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn same_name_different_body_is_not_deduped() {
+        // Regression: the cache used to key on the computation name
+        // alone, so a *different* computation reusing a name was
+        // answered with the stale verdict — the client saw a decision
+        // about a body the controller never looked at. Now the content
+        // hash disagrees and the retry is refused outright.
+        let registry = Arc::new(Registry::new());
+        let journal = Arc::new(Journal::new(64));
+        let theta = theta_at(&["l0"], 4, 16);
+        let (pool, handles) =
+            ShardPool::spawn(RotaPolicy, &theta, 1, 8, &registry, &journal, None);
+        let timeout = Duration::from_secs(5);
+        let first = pool.admit(request_at("same", "l0", 1, 16), timeout);
+        assert!(matches!(first, Response::Decision { accepted: true, .. }), "{first:?}");
+        // Same name, different body: neither the stale verdict nor a
+        // double commit — an explicit conflict.
+        let conflicting = pool.admit(request_at("same", "l0", 2, 16), timeout);
+        match &conflicting {
+            Response::Error { message } => {
+                assert!(message.contains("idempotency conflict"), "{message}");
+            }
+            other => panic!("expected a conflict error, got {other:?}"),
+        }
+        assert_eq!(journal.len(), 1, "the conflicting body never reached the controller");
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter("server.shard.dedup_hits{shard=0}")
+                .unwrap_or(0),
+            0,
+            "a conflict is not a dedup hit"
+        );
+        // An identical retry of the first body still dedups.
+        let replay = pool.admit(request_at("same", "l0", 1, 16), timeout);
+        assert_eq!(replay, first);
+        assert_eq!(journal.len(), 1, "the replay was served from cache");
+        drop(pool);
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn lint_erroring_request_bounces_with_diagnostics() {
+        let registry = Arc::new(Registry::new());
+        let journal = Arc::new(Journal::new(64));
+        let theta = theta_at(&["l0"], 4, 16);
+        let (pool, handles) =
+            ShardPool::spawn(RotaPolicy, &theta, 1, 8, &registry, &journal, None);
+        let timeout = Duration::from_secs(5);
+        // Demand at a location with no declared supply: R0006, decided
+        // by the analyzer, never by the policy.
+        let bounced = pool.admit(request_at("ghost", "l9", 1, 16), timeout);
+        match &bounced {
+            Response::Decision {
+                accepted,
+                clause,
+                diagnostics,
+                ..
+            } => {
+                assert!(!accepted);
+                assert_eq!(clause.as_deref(), Some("static analysis (pre-admission)"));
+                assert!(
+                    diagnostics.iter().any(|d| d
+                        .get("code")
+                        .and_then(rota_obs::Json::as_str)
+                        == Some("R0006")),
+                    "{bounced:?}"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(journal.len(), 0, "the policy was never consulted");
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter("server.shard.lint_rejects{shard=0}"),
             Some(1)
         );
         drop(pool);

@@ -142,6 +142,22 @@ pub struct ComputationSpec {
     pub actors: Vec<ActorSpec>,
 }
 
+/// A declared Allen-interval constraint between two spec entities.
+///
+/// Entities are referenced by path: `"computation"` (the start/deadline
+/// window) or `"resources[i]"` (the i-th term's interval). `rel` names
+/// the allowed relations (`before`, `meets`, `during`, …); the
+/// analyzer's constraint pass checks satisfiability.
+#[derive(Debug, Clone)]
+pub struct ConstraintSpec {
+    /// Left entity reference.
+    pub left: String,
+    /// Allowed Allen relation names.
+    pub rel: Vec<String>,
+    /// Right entity reference.
+    pub right: String,
+}
+
 /// A whole check-spec file.
 #[derive(Debug, Clone)]
 pub struct CheckSpec {
@@ -149,6 +165,8 @@ pub struct CheckSpec {
     pub resources: Vec<ResourceSpec>,
     /// The computation to admission-check.
     pub computation: ComputationSpec,
+    /// Optional temporal constraints (empty when the file has none).
+    pub constraints: Vec<ConstraintSpec>,
 }
 
 /// Spec-level errors with user-facing messages.
@@ -347,6 +365,26 @@ fn decode_actor(value: &Json, index: usize) -> Result<ActorSpec, SpecError> {
         origin: fields.str("origin")?,
         actions,
         name,
+    })
+}
+
+fn decode_constraint(value: &Json, index: usize) -> Result<ConstraintSpec, SpecError> {
+    let ctx = format!("constraints[{index}]");
+    let fields = Fields::of(value, &ctx)?;
+    fields.deny_unknown(&["left", "rel", "right"])?;
+    let rel = fields
+        .array("rel")?
+        .iter()
+        .map(|r| {
+            r.as_str().map(str::to_string).ok_or_else(|| {
+                SpecError::Parse(format!("{ctx}: `rel` entries must be relation-name strings"))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(ConstraintSpec {
+        left: fields.str("left")?,
+        rel,
+        right: fields.str("right")?,
     })
 }
 
@@ -581,11 +619,125 @@ impl CheckSpec {
     pub fn from_json(text: &str) -> Result<Self, SpecError> {
         let doc = Json::parse(text).map_err(|e| SpecError::Parse(e.to_string()))?;
         let fields = Fields::of(&doc, "spec")?;
-        fields.deny_unknown(&["resources", "computation"])?;
+        fields.deny_unknown(&["resources", "computation", "constraints"])?;
+        let constraints = match fields.optional("constraints") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| SpecError::Parse("spec: `constraints` must be an array".into()))?
+                .iter()
+                .enumerate()
+                .map(|(i, c)| decode_constraint(c, i))
+                .collect::<Result<_, _>>()?,
+        };
         Ok(CheckSpec {
             resources: resources_from_json(fields.array("resources")?)?,
             computation: ComputationSpec::from_json(fields.required("computation")?)?,
+            constraints,
         })
+    }
+
+    /// The analyzer's raw view of this spec — declarations as written,
+    /// including content the library types would reject (empty
+    /// intervals, inverted windows), which is exactly what the lints
+    /// need to see.
+    pub fn analysis_model(&self) -> rota_analyze::SpecModel {
+        let resources = self
+            .resources
+            .iter()
+            .map(|r| {
+                let (located, rate, start, end) = match r {
+                    ResourceSpec::Cpu {
+                        location,
+                        rate,
+                        start,
+                        end,
+                    } => (
+                        LocatedType::cpu(Location::new(location)),
+                        *rate,
+                        *start,
+                        *end,
+                    ),
+                    ResourceSpec::Memory {
+                        location,
+                        rate,
+                        start,
+                        end,
+                    } => (
+                        LocatedType::memory(Location::new(location)),
+                        *rate,
+                        *start,
+                        *end,
+                    ),
+                    ResourceSpec::Network {
+                        from,
+                        to,
+                        rate,
+                        start,
+                        end,
+                    } => (
+                        LocatedType::network(Location::new(from), Location::new(to)),
+                        *rate,
+                        *start,
+                        *end,
+                    ),
+                };
+                rota_analyze::ResourceDecl {
+                    located,
+                    rate,
+                    start,
+                    end,
+                }
+            })
+            .collect();
+        let actors = self
+            .computation
+            .actors
+            .iter()
+            .map(|a| rota_analyze::ActorDecl {
+                name: a.name.clone(),
+                origin: a.origin.clone(),
+                actions: a
+                    .actions
+                    .iter()
+                    .map(|action| match action {
+                        ActionSpec::Evaluate { work } => {
+                            rota_analyze::ActionDecl::Evaluate { work: *work }
+                        }
+                        ActionSpec::Send { to, dest, size } => rota_analyze::ActionDecl::Send {
+                            to: to.clone(),
+                            dest: dest.clone(),
+                            size: *size,
+                        },
+                        ActionSpec::Create { child } => {
+                            rota_analyze::ActionDecl::Create { child: child.clone() }
+                        }
+                        ActionSpec::Ready => rota_analyze::ActionDecl::Ready,
+                        ActionSpec::Migrate { dest } => {
+                            rota_analyze::ActionDecl::Migrate { dest: dest.clone() }
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        rota_analyze::SpecModel {
+            resources,
+            computation: rota_analyze::ComputationDecl {
+                name: self.computation.name.clone(),
+                start: self.computation.start,
+                deadline: self.computation.deadline,
+                actors,
+            },
+            constraints: self
+                .constraints
+                .iter()
+                .map(|c| rota_analyze::ConstraintDecl {
+                    left: c.left.clone(),
+                    rel: c.rel.clone(),
+                    right: c.right.clone(),
+                })
+                .collect(),
+        }
     }
 
     /// Converts the resource list into a library [`ResourceSet`].

@@ -8,7 +8,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use rota_actor::{Granularity, TableCostModel};
+use rota_actor::{ActionKind, ActorComputation, DistributedComputation, Granularity, TableCostModel};
 use rota_admission::{
     AdmissionController, AdmissionPolicy, AdmissionRequest, Decision, RotaPolicy,
 };
@@ -109,6 +109,58 @@ fn server_decisions_match_in_process_controller() {
     // comparison to mean anything.
     assert!(accepted > 0, "no job was admitted");
     assert!(accepted < 60, "no job was refused");
+    server.shutdown();
+}
+
+#[test]
+fn lint_erroring_spec_is_rejected_before_policy() {
+    let server = Server::spawn(
+        ServerConfig::ephemeral(),
+        RotaPolicy,
+        &base_resources(&chain_workload()),
+    )
+    .expect("spawn server");
+    let (mut stream, mut reader) = connect(server.local_addr());
+
+    // An actor at a location the server has no supply for: the
+    // pre-admission analyzer flags R0006 and the request never
+    // reaches the policy.
+    let job = DistributedComputation::single(
+        "ghost-job",
+        ActorComputation::new("a", "ghost-location").then(ActionKind::evaluate()),
+        TimePoint::ZERO,
+        TimePoint::new(32),
+    )
+    .expect("valid computation");
+    let response = roundtrip(&mut stream, &mut reader, &admit_line(&job));
+    assert_eq!(response.get("op").and_then(Json::as_str), Some("decision"));
+    assert_eq!(
+        response.get("accepted").and_then(Json::as_bool),
+        Some(false)
+    );
+    let clause = response
+        .get("clause")
+        .and_then(Json::as_str)
+        .unwrap_or_default();
+    assert!(clause.contains("static analysis"), "clause: {clause}");
+    let diagnostics = response
+        .get("diagnostics")
+        .and_then(Json::as_array)
+        .expect("lint rejection carries structured diagnostics");
+    assert!(
+        diagnostics
+            .iter()
+            .any(|d| d.get("code").and_then(Json::as_str) == Some("R0006")),
+        "expected an R0006 diagnostic: {response}"
+    );
+    // The policy was never consulted: the decision journal stayed
+    // empty and the lint counter recorded the bounce.
+    assert!(server.journal().is_empty());
+    let snapshot = server.registry().snapshot();
+    let linted: u64 = (0..16)
+        .filter_map(|s| snapshot.counter(&format!("server.shard.lint_rejects{{shard={s}}}")))
+        .sum();
+    assert_eq!(linted, 1);
     server.shutdown();
 }
 

@@ -147,6 +147,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     reason,
                     violated_term,
                     clause,
+                    diagnostics: Vec::new(),
                 }
             }),
     ]

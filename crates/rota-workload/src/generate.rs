@@ -132,13 +132,27 @@ pub fn generate_job(
     .expect("deadline > start by construction")
 }
 
+/// Self-validation: runs the structural lint pass of `rota-analyze`
+/// over a generated job against the system's base supply.
+///
+/// Overload experiments *depend* on capacity-infeasible jobs, so the
+/// overcommitment and feasibility passes are deliberately not run —
+/// but a generated job must never be structurally malformed (inverted
+/// window, duplicate actor names, actor with no actions). The
+/// generator asserts this in debug builds and the seed-sweep test
+/// covers release behaviour.
+pub fn validate_job(theta: &ResourceSet, job: &DistributedComputation) -> rota_analyze::Report {
+    let model = rota_analyze::SpecModel::from_parts(&theta.to_terms(), job);
+    rota_analyze::analyze_structural(&model)
+}
+
 /// Builds a full scenario: base resources, churned leases, and arrivals
 /// calibrated so total demanded units ≈ `load ×` total base capacity.
 pub fn build_scenario(config: &WorkloadConfig) -> Scenario {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let phi = TableCostModel::paper();
     let base = base_resources(config);
-    let mut scenario = Scenario::new(TimePoint::new(config.horizon)).with_initial(base);
+    let mut scenario = Scenario::new(TimePoint::new(config.horizon)).with_initial(base.clone());
 
     // Churned resource leases.
     if config.churn_join_prob > 0.0 && config.churn_rate > 0 {
@@ -171,6 +185,11 @@ pub fn build_scenario(config: &WorkloadConfig) -> Scenario {
         let arrival = rng.gen_range(0..config.horizon.max(1));
         let name = format!("job{k}");
         let job = generate_job(config, &mut rng, &name, arrival);
+        debug_assert!(
+            !validate_job(&base, &job).has_errors(),
+            "generator emitted a structurally invalid job: {:?}",
+            validate_job(&base, &job).diagnostics()
+        );
         demanded =
             demanded.saturating_add(job.total_demand(&phi).total_units());
         let start = job.start();

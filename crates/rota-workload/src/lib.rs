@@ -10,7 +10,11 @@
 //!   ([`WorkloadConfig::with_churn`]),
 //! * deadline-constrained arrivals of configurable [`JobShape`]s (chains,
 //!   fork-joins, migration pipelines), calibrated to a target offered
-//!   [`WorkloadConfig::load`].
+//!   [`WorkloadConfig::load`],
+//! * self-validation — every generated job is run through the
+//!   `rota-analyze` structural lint pass ([`validate_job`]); the
+//!   generator never emits structurally malformed load (capacity
+//!   infeasibility is allowed: overload experiments require it).
 //!
 //! ```
 //! use rota_workload::{build_scenario, WorkloadConfig};
@@ -29,4 +33,4 @@ mod config;
 mod generate;
 
 pub use config::{JobShape, WorkloadConfig};
-pub use generate::{base_resources, build_scenario, generate_job, node};
+pub use generate::{base_resources, build_scenario, generate_job, node, validate_job};

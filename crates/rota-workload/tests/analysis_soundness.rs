@@ -1,0 +1,84 @@
+//! Cross-crate soundness of the static analyzer against the real
+//! admission policy, exercised with generated load.
+//!
+//! The analyzer's contract (`rota-analyze` crate docs) is that
+//! error-severity diagnostics are *sound*: a spec a fresh `RotaPolicy`
+//! would accept never carries an R-error. Warnings and notes are
+//! allowed to fire on admissible specs. The workload generator is the
+//! adversary here — it produces every job shape the experiment suite
+//! uses, across loads and slacks where admission both accepts and
+//! rejects.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rota_actor::TableCostModel;
+use rota_admission::{AdmissionController, AdmissionRequest, Decision, RotaPolicy};
+use rota_analyze::{analyze_with, SpecModel};
+use rota_interval::TimePoint;
+use rota_workload::{base_resources, generate_job, validate_job, JobShape, WorkloadConfig};
+
+fn arb_shape() -> impl Strategy<Value = JobShape> {
+    prop_oneof![
+        (1usize..5).prop_map(|evals| JobShape::Chain { evals }),
+        ((2usize..4), (1usize..4))
+            .prop_map(|(actors, evals_each)| JobShape::ForkJoin { actors, evals_each }),
+        (1usize..3).prop_map(|hops| JobShape::Pipeline { hops }),
+        Just(JobShape::Mixed),
+    ]
+}
+
+proptest! {
+    /// Severity soundness: RotaPolicy-accepted ⇒ never an R-error.
+    #[test]
+    fn accepted_jobs_carry_no_error_diagnostics(
+        seed in 0u64..512,
+        shape in arb_shape(),
+        slack_x4 in 2u64..16,
+    ) {
+        let config = WorkloadConfig::new(seed)
+            .with_shape(shape)
+            .with_slack(slack_x4 as f64 / 4.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let theta = base_resources(&config);
+        let phi = TableCostModel::paper();
+        let job = generate_job(&config, &mut rng, "p", 0);
+        let request = AdmissionRequest::price(job.clone(), &phi, config.granularity);
+        let mut controller =
+            AdmissionController::new(RotaPolicy, theta.clone(), TimePoint::ZERO);
+        if let Decision::Accept(_) = controller.submit(&request) {
+            let model = SpecModel::from_parts(&theta.to_terms(), &job);
+            let report = analyze_with(&model, &phi, config.granularity);
+            prop_assert!(
+                !report.has_errors(),
+                "policy accepted `{}` but the analyzer errored: {:?}",
+                job.name(),
+                report.diagnostics()
+            );
+        }
+    }
+}
+
+/// Self-validation seed sweep: generated jobs are always structurally
+/// clean, even at slacks so tight that admission rejects every one —
+/// capacity infeasibility is legitimate load, structural malformation
+/// never is.
+#[test]
+fn generated_jobs_are_structurally_clean() {
+    for seed in 0..24u64 {
+        let config = WorkloadConfig::new(seed)
+            .with_shape(JobShape::Mixed)
+            .with_slack(0.5 + (seed as f64) / 8.0);
+        let theta = base_resources(&config);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..8u64 {
+            let job = generate_job(&config, &mut rng, &format!("sv{seed}-{i}"), i);
+            let report = validate_job(&theta, &job);
+            assert!(
+                report.is_clean(),
+                "seed {seed} job {i}: {:?}",
+                report.diagnostics()
+            );
+        }
+    }
+}

@@ -6,6 +6,20 @@ verify:
     cargo build --release
     cargo test -q
     cargo clippy --workspace --all-targets -- -D warnings
+    cargo run -q -p repolint
+
+# Repo conventions linter on its own (unwrap/expect bans, forbid(unsafe_code)).
+repolint:
+    cargo run -q -p repolint
+
+# Golden-file check: every lint fixture produces exactly its documented
+# diagnostic codes and exit status through the real `rota-cli check` binary.
+check-fixtures:
+    cargo test -q -p rota-cli --test check_fixtures
+
+# Static analysis of a spec file without admission (see DESIGN.md §11).
+check *ARGS:
+    cargo run -q -p rota-cli --bin rota-cli -- check {{ARGS}}
 
 # Full benchmark sweep (slow; see EXPERIMENTS.md for recorded numbers).
 bench:
