@@ -9,8 +9,10 @@ use rota_logic::{State, TransitionError};
 use rota_obs::DecisionEvent;
 use rota_resource::ResourceSet;
 
+use rota_logic::Commitment;
+
 use crate::obs::AdmissionObs;
-use crate::policy::{edf_assignments, AdmissionPolicy, Decision};
+use crate::policy::{edf_assignments, AdmissionPolicy, Decision, RejectReason};
 use crate::request::AdmissionRequest;
 
 /// How the controller assigns available resources to commitments each
@@ -182,23 +184,29 @@ impl<P: AdmissionPolicy> AdmissionController<P> {
 
     /// Submits a request; on acceptance the commitments are installed
     /// immediately.
+    ///
+    /// A policy accept whose commitments the state refuses to install
+    /// (e.g. an actor name already committed by an earlier request) is
+    /// downgraded to a rejection after rolling back any partial
+    /// install — the state never ends up holding a half-admitted
+    /// computation, and the caller never observes a panic.
     pub fn submit(&mut self, request: &AdmissionRequest) -> Decision {
         let started = self.obs.as_ref().map(|_| std::time::Instant::now());
-        let decision = self.policy.decide(&self.state, request);
+        let mut decision = self.policy.decide(&self.state, request);
         if let (Some(obs), Some(t0)) = (&self.obs, started) {
             obs.observe_decide_ns(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
         }
         match &decision {
             Decision::Accept(commitments) => {
-                let actors: Vec<ActorName> =
-                    commitments.iter().map(|c| c.actor().clone()).collect();
-                self.in_flight.push((actors, request.deadline()));
-                for c in commitments {
-                    self.state
-                        .accommodate(c.clone())
-                        .expect("policy checked the deadline guard");
+                match self.install(commitments.clone(), request.deadline()) {
+                    Ok(()) => {}
+                    Err(err) => {
+                        decision = Decision::Reject(RejectReason::PolicyCheckFailed {
+                            detail: format!("commitments not installable: {err}"),
+                        });
+                        self.stats.rejected += 1;
+                    }
                 }
-                self.stats.accepted += 1;
             }
             Decision::Reject(_) => {
                 self.stats.rejected += 1;
@@ -212,6 +220,70 @@ impl<P: AdmissionPolicy> AdmissionController<P> {
         }
         self.last_decision = Some(event);
         decision
+    }
+
+    /// Installs already-decided commitments directly (the mechanism
+    /// under [`AdmissionController::submit`], and the *prepare* half of
+    /// a distributed two-phase commit): every commitment is
+    /// accommodated, the request joins the in-flight accounting, and
+    /// `accepted` is counted.
+    ///
+    /// All-or-nothing: on any install failure the commitments already
+    /// accommodated are evicted again and the state is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// The underlying [`TransitionError`] (deadline passed, or an actor
+    /// name already committed).
+    pub fn install(
+        &mut self,
+        commitments: Vec<Commitment>,
+        deadline: TimePoint,
+    ) -> Result<(), TransitionError> {
+        let mut installed: Vec<ActorName> = Vec::with_capacity(commitments.len());
+        for c in &commitments {
+            match self.state.accommodate(c.clone()) {
+                Ok(_) => installed.push(c.actor().clone()),
+                Err(err) => {
+                    for actor in &installed {
+                        self.state.evict(actor);
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        self.in_flight.push((installed, deadline));
+        self.stats.accepted += 1;
+        if let Some(obs) = &self.obs {
+            obs.set_in_flight(self.in_flight.len());
+        }
+        Ok(())
+    }
+
+    /// Administratively withdraws an installed computation regardless of
+    /// whether it has started (the *abort* half of a distributed
+    /// two-phase commit; contrast [`AdmissionController::cancel`], which
+    /// enforces the paper's leave-rule guard). Returns `true` when the
+    /// computation was known and its commitments were evicted; the
+    /// `accepted` counter is rolled back so an aborted prepare leaves no
+    /// accounting trace.
+    pub fn withdraw(&mut self, actors: &[ActorName]) -> bool {
+        let Some(pos) = self
+            .in_flight
+            .iter()
+            .position(|(flight, _)| flight == actors)
+        else {
+            return false;
+        };
+        for actor in actors {
+            self.state.evict(actor);
+        }
+        self.in_flight.remove(pos);
+        self.stats.accepted = self.stats.accepted.saturating_sub(1);
+        if let Some(obs) = &self.obs {
+            obs.set_in_flight(self.in_flight.len());
+        }
+        true
     }
 
     /// Packages a verdict as a journal event: accepted requests record

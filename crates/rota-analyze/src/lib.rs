@@ -24,6 +24,7 @@
 //! | R0013 | note     | actor with no actions |
 //! | R0014 | warning  | resource term entirely outside the computation window |
 //! | R0015 | error    | unknown Allen relation name / empty relation set |
+//! | R0016 | error    | demand at a location no cluster node owns |
 //!
 //! Severities follow one invariant: **error-severity diagnostics are
 //! sound** — a spec that a fresh `RotaPolicy` would accept *and whose
@@ -93,6 +94,7 @@ pub const CODES: &[(&str, Severity, &str)] = &[
     ("R0013", Severity::Note, "actor with no actions"),
     ("R0014", Severity::Warning, "resource outside computation window"),
     ("R0015", Severity::Error, "unknown Allen relation name"),
+    ("R0016", Severity::Error, "location owned by no cluster node"),
 ];
 
 /// Runs every pass with the paper's cost model at the default
@@ -148,6 +150,44 @@ pub fn prevalidate(model: &SpecModel, demand: &rota_actor::ResourceDemand) -> Re
     structural::run(model, &mut report);
     capacity::run(model, &model.theta(), Some(demand), None, &mut report);
     report.retain(|d| d.severity == Severity::Error || !d.path.starts_with("resources["));
+    report
+}
+
+/// Cluster routing validation (R0016): every located type the priced
+/// demand touches must live at a location some cluster node owns —
+/// keyed, like shard routing, by the term's first location. A demand at
+/// an unowned location can never be admitted anywhere in the
+/// federation, so the router rejects it up front with this diagnostic
+/// instead of forwarding it into the void.
+pub fn check_ownership(
+    demand: &rota_actor::ResourceDemand,
+    owned: &std::collections::BTreeSet<String>,
+) -> Report {
+    let mut report = Report::new();
+    for (lt, q) in demand.iter() {
+        if q.is_zero() {
+            continue;
+        }
+        let Some(location) = lt.locations().first().copied() else {
+            continue;
+        };
+        if !owned.contains(location.name()) {
+            report.push(
+                Diagnostic::new(
+                    "R0016",
+                    Severity::Error,
+                    format!("demand[{lt}]"),
+                    format!(
+                        "computation demands {q} of {lt}, but no cluster node owns \
+                         location `{}`",
+                        location.name()
+                    ),
+                )
+                .with_note("the cluster topology assigns every location to exactly one node")
+                .with_note("check the location name against the topology file"),
+            );
+        }
+    }
     report
 }
 
@@ -292,5 +332,26 @@ mod tests {
             assert!(seen.insert(*code), "duplicate code {code}");
             assert!(code.starts_with('R') && code.len() == 5);
         }
+    }
+
+    #[test]
+    fn ownership_check_flags_unowned_locations() {
+        use rota_resource::Quantity;
+        let owned: std::collections::BTreeSet<String> =
+            ["l0", "l1"].iter().map(|s| (*s).to_string()).collect();
+        let mut demand = rota_actor::ResourceDemand::new();
+        demand.add(LocatedType::cpu(Location::new("l0")), Quantity::new(4));
+        demand.add(LocatedType::cpu(Location::new("ghost")), Quantity::new(1));
+        let report = check_ownership(&demand, &owned);
+        assert_eq!(report.count(Severity::Error), 1);
+        let diag = &report.diagnostics()[0];
+        assert_eq!(diag.code, "R0016");
+        assert!(diag.message.contains("ghost"), "{}", diag.message);
+        // Demand entirely inside the topology is clean; zero-quantity
+        // demand at an unowned location is not worth rejecting.
+        let mut fine = rota_actor::ResourceDemand::new();
+        fine.add(LocatedType::cpu(Location::new("l1")), Quantity::new(2));
+        fine.add(LocatedType::cpu(Location::new("ghost")), Quantity::new(0));
+        assert!(check_ownership(&fine, &owned).is_clean());
     }
 }

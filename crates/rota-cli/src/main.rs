@@ -57,6 +57,7 @@ fn main() -> ExitCode {
         Some("compare") => cmd_simulate(&args[1..], true),
         Some("stats") => cmd_stats(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("cluster") => cmd_cluster(&args[1..]),
         Some("loadtest") => cmd_loadtest(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -88,10 +89,14 @@ fn print_usage() {
     eprintln!("                [--shards N] [--queue N] [--nodes N] [--horizon T] [--seed N]");
     eprintln!("                [--chaos seed=N,latency_ms=N,latency_p=P,truncate_p=P,");
     eprintln!("                         corrupt_p=P,reset_p=P,panic_nth=N]");
+    eprintln!("  rota cluster  [--nodes N | --topology FILE] [--base-port P] [--seed N]");
+    eprintln!("                [--horizon T] [--gossip-ms N] [--redirects] [--shards N]");
+    eprintln!("                [--queue N] [--duration-ms N]   (N-node federation; each");
+    eprintln!("                node owns its locations, any node accepts any admission)");
     eprintln!("  rota loadtest [--policy rota|naive|optimistic|edf|all] [--nodes N]");
     eprintln!("                [--jobs N] [--connections N] [--shape …] [--shards N]");
     eprintln!("                [--queue N] [--horizon T] [--seed N] [--addr HOST:PORT]");
-    eprintln!("                [--chaos <spec as above>]");
+    eprintln!("                [--cluster N] [--chaos <spec as above>]");
     eprintln!();
     eprintln!("loadtest --seed N also makes the request schedule deterministic");
     eprintln!("(static round-robin partition); --chaos turns on the retrying,");
@@ -805,6 +810,244 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Builds a [`rota_cluster::ClusterConfig`] from the shared flags.
+fn cluster_config(args: &[String], seed: u64) -> rota_cluster::ClusterConfig {
+    let mut config = rota_cluster::ClusterConfig {
+        seed,
+        ..rota_cluster::ClusterConfig::default()
+    };
+    if let Some(ms) = flag(args, "--gossip-ms").and_then(|v| v.parse().ok()) {
+        config.gossip_interval = std::time::Duration::from_millis(ms);
+    }
+    if args.iter().any(|a| a == "--redirects") {
+        config.redirects = true;
+    }
+    if let Some(shards) = flag(args, "--shards").and_then(|v| v.parse().ok()) {
+        config.shards = shards;
+    }
+    if let Some(queue) = flag(args, "--queue").and_then(|v| v.parse().ok()) {
+        config.queue_capacity = queue;
+    }
+    config
+}
+
+/// `rota cluster`: run an N-node federation in this process. Each node
+/// is a full rota-server owning a disjoint slice of the locations;
+/// gossip keeps the peers' liveness and supply views fresh, and any
+/// node accepts any admission (forwarding or two-phase committing
+/// cross-location demand).
+fn cmd_cluster(args: &[String]) -> ExitCode {
+    use rota_cluster::{Cluster, Topology};
+
+    let workload = match service_workload(args, "cluster") {
+        Ok(w) => w,
+        Err(code) => return code,
+    };
+    let (mut topology, theta) = match flag(args, "--topology") {
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cluster: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let topology = match Topology::parse(&text) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cluster: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // A file topology names its own locations, so the workload
+            // supply shape does not apply: serve per-location CPU at
+            // the workload node rate; links can be added via `offer`.
+            let horizon = rota_interval::TimeInterval::from_ticks(0, workload.horizon.max(1))
+                .expect("horizon ≥ 1");
+            let theta: rota_resource::ResourceSet = topology
+                .locations()
+                .into_iter()
+                .map(|location| {
+                    rota_resource::ResourceTerm::new(
+                        rota_resource::Rate::new(workload.node_rate),
+                        horizon,
+                        rota_resource::LocatedType::cpu(rota_resource::Location::new(location)),
+                    )
+                })
+                .collect();
+            (topology, theta)
+        }
+        None => (
+            Topology::auto(workload.nodes.max(1)),
+            base_resources(&workload),
+        ),
+    };
+    // `--base-port P` pins node addresses to consecutive ports; nodes
+    // whose topology entry already names an address keep it.
+    if let Some(base) = flag(args, "--base-port").and_then(|v| v.parse::<u16>().ok()) {
+        let unbound: Vec<String> = topology
+            .nodes()
+            .iter()
+            .filter(|n| n.addr.is_empty())
+            .map(|n| n.id.clone())
+            .collect();
+        for (i, id) in unbound.iter().enumerate() {
+            topology.set_addr(id, &format!("127.0.0.1:{}", base.saturating_add(i as u16)));
+        }
+    }
+    let config = cluster_config(args, workload.seed);
+    let gossip_ms = config.gossip_interval.as_millis();
+    let cluster = match Cluster::launch(topology, &theta, RotaPolicy, config) {
+        Ok(cluster) => cluster,
+        Err(e) => {
+            eprintln!("cluster: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "cluster: {} nodes, {} resource terms, gossip every {}ms (seed {})",
+        cluster.nodes().len(),
+        theta.term_count(),
+        gossip_ms,
+        workload.seed,
+    );
+    {
+        let topology = cluster
+            .topology()
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        for node in cluster.nodes() {
+            let locations = topology
+                .node(node.id())
+                .map(|s| s.locations.join(","))
+                .unwrap_or_default();
+            println!("  {} @ {} owns {}", node.id(), node.addr(), locations);
+        }
+    }
+    if cluster.await_converged(std::time::Duration::from_secs(10)) {
+        println!("gossip converged; every node sees every peer alive");
+    } else {
+        eprintln!("warning: gossip has not converged after 10s; serving anyway");
+    }
+    println!("admit at any node: owners decide locally, cross-location demand two-phase commits");
+    match flag(args, "--duration-ms").and_then(|v| v.parse::<u64>().ok()) {
+        Some(ms) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            cluster.shutdown();
+            println!("duration elapsed; cluster stopped");
+        }
+        None => {
+            println!("(drop the process to stop)");
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(1));
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Sums every `cluster.*` counter across the nodes' metric snapshots:
+/// `(name, total)` pairs, name stripped of the `cluster.` prefix.
+fn cluster_counter_sums(addrs: &[SocketAddr]) -> Vec<(String, u64)> {
+    let mut sums: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for addr in addrs {
+        let Ok(snapshot) = Client::connect(*addr).and_then(|mut c| c.metrics()) else {
+            continue;
+        };
+        let Json::Obj(entries) = snapshot else { continue };
+        for (name, metric) in entries {
+            let Some(rest) = name.strip_prefix("cluster.") else {
+                continue;
+            };
+            if metric.get("kind").and_then(Json::as_str) != Some("counter") {
+                continue;
+            }
+            let value = metric.get("value").and_then(Json::as_f64).unwrap_or(0.0);
+            *sums.entry(rest.to_string()).or_default() += value as u64;
+        }
+    }
+    sums.into_iter().collect()
+}
+
+/// `rota loadtest --cluster N`: drive an ephemeral in-process N-node
+/// federation, connections spread round-robin over the nodes, and
+/// report the routing/2PC work alongside the usual latency numbers.
+fn run_cluster_loadtest(
+    args: &[String],
+    nodes: usize,
+    workload: &WorkloadConfig,
+    jobs: usize,
+    connections: usize,
+    granularity: Granularity,
+    deterministic: bool,
+) -> ExitCode {
+    use rota_cluster::{Cluster, Topology};
+
+    // The workload's locations must be exactly the cluster's, so the
+    // node count wins over `--nodes`.
+    let workload = workload.clone().with_nodes(nodes);
+    let theta = base_resources(&workload);
+    let cluster = match Cluster::launch(
+        Topology::auto(nodes),
+        &theta,
+        RotaPolicy,
+        cluster_config(args, workload.seed),
+    ) {
+        Ok(cluster) => cluster,
+        Err(e) => {
+            eprintln!("loadtest: cannot launch cluster: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !cluster.await_converged(std::time::Duration::from_secs(10)) {
+        eprintln!("loadtest: cluster gossip failed to converge");
+        cluster.shutdown();
+        return ExitCode::FAILURE;
+    }
+    let addrs = cluster.addrs();
+    let config = LoadtestConfig {
+        addr: addrs[0],
+        cluster: addrs.clone(),
+        connections,
+        jobs,
+        workload: workload.clone(),
+        granularity,
+        deterministic,
+        retry: None,
+        hedge: None,
+    };
+    let report = match run_loadtest(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadtest: {e}");
+            cluster.shutdown();
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render(&format!("rota ({nodes}-node cluster)")));
+    for (i, addr) in addrs.iter().enumerate() {
+        match Client::connect(*addr).and_then(|mut c| c.stats()) {
+            Ok((stats, shards)) => println!(
+                "  node{i}        {} accepted / {} rejected across {} shard(s)",
+                stats.accepted, stats.rejected, shards
+            ),
+            Err(e) => println!("  node{i}        (stats unavailable: {e})"),
+        }
+    }
+    let counters = cluster_counter_sums(&addrs);
+    if !counters.is_empty() {
+        let rendered: Vec<String> = counters
+            .into_iter()
+            .map(|(name, value)| format!("{name}={value}"))
+            .collect();
+        println!("  cluster      {}", rendered.join(" "));
+    }
+    println!();
+    cluster.shutdown();
+    ExitCode::SUCCESS
+}
+
 fn cmd_loadtest(args: &[String]) -> ExitCode {
     let policy_flag = flag(args, "--policy").unwrap_or_else(|| "rota".into());
     let policies: Vec<&str> = if policy_flag == "all" {
@@ -850,6 +1093,37 @@ fn cmd_loadtest(args: &[String]) -> ExitCode {
         eprintln!("loadtest: --addr drives one external server; pick a single --policy");
         return ExitCode::FAILURE;
     }
+    if let Some(text) = flag(args, "--cluster") {
+        let nodes = match text.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("loadtest: --cluster needs a node count ≥ 1");
+                return ExitCode::FAILURE;
+            }
+        };
+        if external.is_some() {
+            eprintln!("loadtest: --cluster spawns its own nodes; drop --addr");
+            return ExitCode::FAILURE;
+        }
+        if policy_flag != "rota" {
+            eprintln!("loadtest: --cluster federates the rota policy; drop --policy");
+            return ExitCode::FAILURE;
+        }
+        if flag(args, "--chaos").is_some() {
+            eprintln!("loadtest: --chaos is per-server; not supported with --cluster");
+            return ExitCode::FAILURE;
+        }
+        let deterministic = args.iter().any(|a| a == "--seed");
+        return run_cluster_loadtest(
+            args,
+            nodes,
+            &workload,
+            jobs,
+            connections,
+            granularity,
+            deterministic,
+        );
+    }
     let theta = base_resources(&workload);
     // `--seed` pins the whole run: the same flag set replays the exact
     // same per-connection request schedule (static partition).
@@ -885,6 +1159,7 @@ fn cmd_loadtest(args: &[String]) -> ExitCode {
         let addr = external.unwrap_or_else(|| handle.as_ref().expect("spawned").local_addr());
         let config = LoadtestConfig {
             addr,
+            cluster: Vec::new(),
             connections,
             jobs,
             workload: workload.clone(),

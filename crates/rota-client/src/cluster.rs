@@ -1,0 +1,302 @@
+//! Cluster-aware client: a list of node addresses, sticky round-robin
+//! failover on transport errors, and `redirect` following.
+//!
+//! A [`ClusterClient`] stays on one node until that node stops
+//! answering, then rotates to the next address in the list and retries
+//! the in-flight request — the cluster router accepts any admission
+//! anywhere, so every node is a legitimate entry point. Servers running
+//! in redirect mode answer remote-location admissions with
+//! `Response::Redirect`; the client follows up to
+//! [`ClusterClient::with_max_redirects`] hops (default 3) before giving
+//! up, so a misconfigured redirect cycle surfaces as an error instead
+//! of a hang.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use rota_actor::{DistributedComputation, Granularity};
+use rota_server::protocol::{Request, Response};
+use rota_server::spec::{computation_to_json, ComputationSpec};
+
+use crate::{Client, ClientError};
+
+/// What the failover layer has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterClientStats {
+    /// Connections dialed (first dials, failover dials, redirect dials).
+    pub dials: u64,
+    /// Times the client rotated to the next node after a transport
+    /// failure.
+    pub failovers: u64,
+    /// `redirect` responses followed to the named owner.
+    pub redirects_followed: u64,
+}
+
+/// A blocking client over a set of cluster node addresses.
+pub struct ClusterClient {
+    addrs: Vec<SocketAddr>,
+    cursor: usize,
+    connection: Option<Client>,
+    timeout: Duration,
+    max_redirects: usize,
+    stats: ClusterClientStats,
+}
+
+impl ClusterClient {
+    /// Builds a client over `addrs`; connections are dialed lazily, so
+    /// this fails only on an empty list.
+    pub fn new(addrs: Vec<SocketAddr>) -> Result<ClusterClient, ClientError> {
+        if addrs.is_empty() {
+            return Err(ClientError::Server("no cluster addresses given".into()));
+        }
+        Ok(ClusterClient {
+            addrs,
+            cursor: 0,
+            connection: None,
+            timeout: Duration::from_secs(5),
+            max_redirects: 3,
+            stats: ClusterClientStats::default(),
+        })
+    }
+
+    /// Bounds each dial.
+    pub fn with_timeout(mut self, timeout: Duration) -> ClusterClient {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Bounds how many `redirect` hops a single request may follow.
+    pub fn with_max_redirects(mut self, hops: usize) -> ClusterClient {
+        self.max_redirects = hops;
+        self
+    }
+
+    /// The node the next request will be sent to.
+    pub fn current_addr(&self) -> SocketAddr {
+        self.addrs[self.cursor]
+    }
+
+    /// Failover and redirect counters.
+    pub fn stats(&self) -> ClusterClientStats {
+        self.stats
+    }
+
+    /// Sends `request`, rotating through the address list on transport
+    /// errors (each node is tried once per call) and following
+    /// redirects. Server-level errors and decisions are returned as-is
+    /// — only a node that cannot answer at all triggers failover.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut last: Option<ClientError> = None;
+        for attempt in 0..self.addrs.len() {
+            if attempt > 0 {
+                self.stats.failovers += 1;
+                self.connection = None;
+                self.cursor = (self.cursor + 1) % self.addrs.len();
+            }
+            match self.call_current(request) {
+                Ok(response) => return self.follow_redirects(request, response),
+                Err(err @ (ClientError::Io(_) | ClientError::Frame(_))) => {
+                    last = Some(err);
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        Err(last.unwrap_or_else(|| ClientError::Server("no cluster addresses given".into())))
+    }
+
+    /// Submits a computation for admission anywhere in the cluster.
+    pub fn admit(
+        &mut self,
+        computation: &DistributedComputation,
+        granularity: Granularity,
+    ) -> Result<Response, ClientError> {
+        let spec = ComputationSpec::from_json(&computation_to_json(computation))?;
+        self.call(&Request::Admit {
+            computation: spec,
+            granularity,
+            forwarded: false,
+        })
+    }
+
+    fn call_current(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let addr = self.addrs[self.cursor];
+        let timeout = self.timeout;
+        let client = match &mut self.connection {
+            Some(client) => client,
+            slot @ None => {
+                self.stats.dials += 1;
+                slot.insert(Client::connect_timeout(addr, timeout)?)
+            }
+        };
+        client.call(request)
+    }
+
+    /// Chases `redirect` answers to the named owner, re-sending the
+    /// same request on a fresh connection per hop. The final node
+    /// becomes the sticky connection — a client that keeps admitting at
+    /// the same location lands on the owner directly from then on.
+    fn follow_redirects(
+        &mut self,
+        request: &Request,
+        mut response: Response,
+    ) -> Result<Response, ClientError> {
+        for _ in 0..self.max_redirects {
+            let Response::Redirect { addr, .. } = &response else {
+                return Ok(response);
+            };
+            let target: SocketAddr = addr
+                .parse()
+                .map_err(|_| ClientError::Server(format!("unparseable redirect to {addr:?}")))?;
+            self.stats.redirects_followed += 1;
+            self.stats.dials += 1;
+            let mut next = Client::connect_timeout(target, self.timeout)?;
+            response = next.call(request)?;
+            self.connection = Some(next);
+            if let Some(index) = self.addrs.iter().position(|a| *a == target) {
+                self.cursor = index;
+            }
+        }
+        match response {
+            Response::Redirect { addr, .. } => Err(ClientError::Server(format!(
+                "redirect limit ({}) exceeded; last hop pointed at {addr}",
+                self.max_redirects
+            ))),
+            response => Ok(response),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufReader, BufWriter};
+    use std::net::TcpListener;
+    use std::thread;
+
+    use rota_server::protocol::{read_frame, write_frame};
+
+    /// A one-connection stub node: answers every request on its first
+    /// connection with `respond(request_count)`, then exits.
+    fn stub_node(respond: impl Fn(u64) -> Response + Send + 'static) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = BufWriter::new(stream);
+            let mut count = 0u64;
+            while let Ok(line) = read_frame(&mut reader, rota_server::MAX_FRAME_BYTES) {
+                let _ = Request::from_line(&line);
+                count += 1;
+                if write_frame(&mut writer, &respond(count).to_json()).is_err() {
+                    break;
+                }
+            }
+        });
+        addr
+    }
+
+    /// An address that accepts the dial and immediately hangs up.
+    fn dead_node() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                drop(stream);
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn empty_address_list_is_rejected() {
+        assert!(ClusterClient::new(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn transport_failure_rotates_to_the_next_node() {
+        let dead = dead_node();
+        let live = stub_node(|_| Response::Pong);
+        let mut client = ClusterClient::new(vec![dead, live]).unwrap();
+        let response = client.call(&Request::Ping).unwrap();
+        assert!(matches!(response, Response::Pong));
+        assert_eq!(client.stats().failovers, 1);
+        assert_eq!(client.current_addr(), live, "sticks to the survivor");
+        // The next request goes straight to the live node.
+        let response = client.call(&Request::Ping).unwrap();
+        assert!(matches!(response, Response::Pong));
+        assert_eq!(client.stats().failovers, 1);
+    }
+
+    #[test]
+    fn redirects_are_followed_to_the_owner() {
+        let owner = stub_node(|_| Response::Pong);
+        let front = stub_node(move |_| Response::Redirect {
+            addr: owner.to_string(),
+            reason: "location `l1` is owned by node1".into(),
+        });
+        let mut client = ClusterClient::new(vec![front, owner]).unwrap();
+        let response = client.call(&Request::Ping).unwrap();
+        assert!(matches!(response, Response::Pong));
+        assert_eq!(client.stats().redirects_followed, 1);
+        assert_eq!(client.current_addr(), owner, "sticks to the owner");
+    }
+
+    #[test]
+    fn redirect_cycles_hit_the_hop_limit() {
+        // A node that redirects every request back to itself. Each hop
+        // dials fresh, so every connection needs its own serving
+        // thread — the earlier ones stay open while the next is served.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = BufWriter::new(stream);
+                    while let Ok(_line) = read_frame(&mut reader, rota_server::MAX_FRAME_BYTES) {
+                        let response = Response::Redirect {
+                            addr: addr.to_string(),
+                            reason: "chasing my own tail".into(),
+                        };
+                        if write_frame(&mut writer, &response.to_json()).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        let mut client = ClusterClient::new(vec![addr]).unwrap().with_max_redirects(3);
+        match client.call(&Request::Ping) {
+            Err(ClientError::Server(message)) => {
+                assert!(message.contains("redirect limit"), "{message}");
+            }
+            other => panic!("expected a redirect-limit error, got {other:?}"),
+        }
+        assert_eq!(client.stats().redirects_followed, 3);
+    }
+
+    #[test]
+    fn server_errors_do_not_trigger_failover() {
+        let fussy = stub_node(|_| Response::Error {
+            message: "version-mismatch".into(),
+        });
+        let never = dead_node();
+        let mut client = ClusterClient::new(vec![fussy, never]).unwrap();
+        // An `error` answer is a real answer: it comes back verbatim
+        // instead of burning the other nodes.
+        let response = client.call(&Request::Ping).unwrap();
+        assert!(matches!(response, Response::Error { .. }));
+        assert_eq!(client.stats().failovers, 0);
+    }
+
+    #[test]
+    fn all_nodes_down_returns_the_last_transport_error() {
+        let mut client = ClusterClient::new(vec![dead_node(), dead_node()]).unwrap();
+        match client.call(&Request::Ping) {
+            Err(ClientError::Io(_) | ClientError::Frame(_)) => {}
+            other => panic!("expected a transport error, got {other:?}"),
+        }
+        assert_eq!(client.stats().failovers, 1);
+    }
+}

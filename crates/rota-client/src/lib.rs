@@ -6,11 +6,15 @@
 //! traffic and reports throughput, latency percentiles, and acceptance
 //! rates. The [`resilient`] module layers deterministic retry,
 //! exponential backoff with seeded jitter, per-request deadline
-//! budgets, and p99-triggered hedging on top of the raw client.
+//! budgets, and p99-triggered hedging on top of the raw client. The
+//! [`cluster`] module adds a multi-address [`ClusterClient`] with
+//! round-robin failover and `redirect` following for rota-cluster
+//! federations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod loadtest;
 pub mod resilient;
 
@@ -25,6 +29,7 @@ use rota_obs::Json;
 use rota_server::protocol::{read_frame, write_frame, FrameError, Request, Response};
 use rota_server::spec::{computation_to_json, ComputationSpec, SpecError};
 
+pub use cluster::{ClusterClient, ClusterClientStats};
 pub use loadtest::{request_schedule, run_loadtest, LoadtestConfig, LoadtestReport};
 pub use resilient::{HedgeConfig, ResilienceStats, ResilientClient, RetryConfig};
 
@@ -116,6 +121,26 @@ impl Client {
         }
     }
 
+    /// Version handshake: announce our [`rota_server::PROTOCOL_VERSION`]
+    /// and confirm the server speaks it. A mismatched server answers
+    /// with a structured `version-mismatch` error (surfaced as
+    /// [`ClientError::Server`]) instead of a decode failure.
+    pub fn hello(&mut self) -> Result<u64, ClientError> {
+        self.hello_as(None)
+    }
+
+    /// [`Client::hello`] with a cluster node identity attached (peers
+    /// introduce themselves by node id).
+    pub fn hello_as(&mut self, node: Option<&str>) -> Result<u64, ClientError> {
+        match self.call(&Request::Hello {
+            version: rota_server::PROTOCOL_VERSION,
+            node: node.map(str::to_string),
+        })? {
+            Response::Welcome { version } => Ok(version),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Submits a computation for admission at the given granularity.
     /// Returns the raw response — `decision` or `overloaded` are both
     /// legitimate outcomes the caller must distinguish.
@@ -128,6 +153,7 @@ impl Client {
         self.call(&Request::Admit {
             computation: spec,
             granularity,
+            forwarded: false,
         })
     }
 
@@ -137,7 +163,10 @@ impl Client {
         let specs = rota_server::spec::resources_from_json(
             doc.as_array().unwrap_or(&[]),
         )?;
-        match self.call(&Request::Offer { resources: specs })? {
+        match self.call(&Request::Offer {
+            resources: specs,
+            forwarded: false,
+        })? {
             Response::Offered { terms } => Ok(terms),
             other => Err(unexpected(&other)),
         }

@@ -26,6 +26,12 @@ use crate::{Client, ClientError};
 pub struct LoadtestConfig {
     /// Server address.
     pub addr: SocketAddr,
+    /// Cluster mode: when non-empty, this is the full node address
+    /// list and connections are spread over it round-robin
+    /// (connection `i` dials `cluster[i % cluster.len()]`); `addr` is
+    /// ignored. Empty (the default) drives the single server at
+    /// `addr`.
+    pub cluster: Vec<SocketAddr>,
     /// Concurrent client connections.
     pub connections: usize,
     /// Total jobs submitted across all connections.
@@ -51,6 +57,7 @@ impl LoadtestConfig {
     pub fn new(addr: SocketAddr) -> Self {
         LoadtestConfig {
             addr,
+            cluster: Vec::new(),
             connections: 4,
             jobs: 200,
             workload: WorkloadConfig::new(7),
@@ -180,7 +187,11 @@ pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, ClientErr
     for connection in 0..connections {
         let shared = Arc::clone(&shared);
         let cursor = Arc::clone(&cursor);
-        let addr = config.addr;
+        let addr = if config.cluster.is_empty() {
+            config.addr
+        } else {
+            config.cluster[connection % config.cluster.len()]
+        };
         let schedule = if config.deterministic {
             Schedule::Fixed(partition(total, connections, connection))
         } else {
@@ -391,6 +402,7 @@ fn raw_worker(
         let request = Request::Admit {
             computation: spec.clone(),
             granularity: *granularity,
+            forwarded: false,
         };
         let start = Instant::now();
         match client.call(&request) {

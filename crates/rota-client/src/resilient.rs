@@ -172,6 +172,7 @@ impl ResilientClient {
         let request = Request::Admit {
             computation,
             granularity,
+            forwarded: false,
         };
         let deadline = Instant::now() + self.retry.budget;
         let mut last: Result<Response, ClientError> =

@@ -1,0 +1,50 @@
+//! # rota-cluster — multi-node federation for the admission service
+//!
+//! Scales `rota-server` past one machine while keeping the paper's
+//! soundness guarantee: a federated accept is exactly as sound as the
+//! single-node [`RotaPolicy`](rota_admission::RotaPolicy) decision
+//! over the merged state.
+//!
+//! The pieces:
+//!
+//! - [`topology`] — a static, disjoint location → node assignment,
+//!   from a JSON file or [`Topology::auto`]. Ownership is the routing
+//!   key for everything else.
+//! - [`gossip`] — seeded, round-based membership: heartbeats with
+//!   indirect beats and piggybacked per-location supply summaries,
+//!   deterministic given the seed. Peers missing heartbeats go
+//!   **suspect**; routing degrades instead of hanging.
+//! - [`router`] — a [`RequestHook`](rota_server::RequestHook) mounted
+//!   on each node: single-owner admissions are decided locally or
+//!   forwarded (loop-safe via the protocol's `forwarded` flag);
+//!   cross-owner admissions run a two-phase prepare/commit with
+//!   TTL-guarded tentative reservations and compensating aborts.
+//! - [`node`] — [`Cluster::launch`]: bind every node on its slice of
+//!   the supply, patch real addresses into the shared topology, then
+//!   start the gossip runtimes.
+//!
+//! ## Why the federation is sound
+//!
+//! Location ownership is disjoint, so the union of per-node
+//! obtainable-resource snapshots *is* the merged single-node state.
+//! Every 2PC participant re-derives the decision itself against that
+//! shared basis with the same deterministic policy — so participants
+//! cannot disagree, and the verdict equals the one a single node
+//! holding all resources would return (property-tested in
+//! `tests/properties.rs`). Tentative reservations carry a TTL, so a
+//! coordinator dying between prepare and commit leaks nothing: the
+//! owning shards release the hold themselves (chaos-tested in
+//! `tests/chaos.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gossip;
+pub mod node;
+pub mod router;
+pub mod topology;
+
+pub use gossip::{GossipEngine, PeerHealth, PeerView};
+pub use node::{Cluster, ClusterConfig, ClusterNode};
+pub use router::{ClusterRouter, RouterConfig};
+pub use topology::{NodeSpec, SharedTopology, Topology, TopologyError};

@@ -1,0 +1,462 @@
+//! Launching and running a cluster of federated admission nodes.
+//!
+//! [`Cluster::launch`] starts one `rota-server` per topology node, each
+//! serving the slice of the supply its node owns and mounting a
+//! [`ClusterRouter`] as its request hook. Launch is two-phase so
+//! ephemeral ports work: first every server binds (recording its real
+//! address into the shared topology), then every node's gossip runtime
+//! starts — so the first gossip round already knows where everyone
+//! lives.
+//!
+//! The gossip runtime is one thread per node: every `gossip_interval`
+//! it advances the node's round counter, beats the engine, picks the
+//! round's seeded target, and exchanges digests with it over the wire
+//! (`hello` handshake first, so version mismatches surface as
+//! structured errors). The engine's conclusions are published to the
+//! node's [`PeerHealth`], which the router consults, and to per-peer
+//! `cluster.peer.alive{peer=...}` gauges in the node's registry.
+//!
+//! Test hooks: [`Cluster::partition`] cuts a node off the gossip
+//! plane deterministically — its runtime stops dialing out and its
+//! router answers inbound gossip with an error — so failure detection,
+//! degraded-mode routing, and recovery can be drilled without timing
+//! races; [`Cluster::kill`] stops a node outright.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rota_admission::AdmissionPolicy;
+use rota_obs::Histogram;
+use rota_resource::ResourceSet;
+use rota_server::{FaultPlan, Request, Response, Server, ServerConfig, ServerHandle};
+
+use crate::gossip::{GossipEngine, PeerHealth};
+use crate::router::{ClusterRouter, RouterConfig};
+use crate::topology::{SharedTopology, Topology};
+
+/// Knobs for a whole cluster launch.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Shards per node. Defaults to 1: with one shard per node,
+    /// per-node statistics aggregate exactly (a multi-shard node counts
+    /// a 2PC accept once per holding shard).
+    pub shards: usize,
+    /// Per-shard queue capacity.
+    pub queue_capacity: usize,
+    /// Wall-clock length of one gossip round.
+    pub gossip_interval: Duration,
+    /// Beat-free rounds before a peer goes suspect.
+    pub suspect_after: u64,
+    /// Timeout for peer calls (gossip, forwards, 2PC legs).
+    pub peer_timeout: Duration,
+    /// TTL on tentative 2PC reservations.
+    pub ttl: Duration,
+    /// Answer single-remote-owner admissions with `redirect` instead of
+    /// forwarding server-side.
+    pub redirects: bool,
+    /// Base RNG seed; node `i` gossips with seed `seed + i`.
+    pub seed: u64,
+    /// Per-node fault plans for chaos drills, keyed by node id.
+    pub fault_plans: BTreeMap<String, FaultPlan>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            shards: 1,
+            queue_capacity: 64,
+            gossip_interval: Duration::from_millis(200),
+            suspect_after: 3,
+            peer_timeout: Duration::from_secs(1),
+            ttl: Duration::from_secs(2),
+            redirects: false,
+            seed: 0,
+            fault_plans: BTreeMap::new(),
+        }
+    }
+}
+
+/// One running node: its server plus its gossip runtime.
+pub struct ClusterNode {
+    id: String,
+    addr: SocketAddr,
+    handle: ServerHandle,
+    health: Arc<PeerHealth>,
+    partitioned: Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
+    gossip_thread: Option<JoinHandle<()>>,
+}
+
+impl ClusterNode {
+    /// The node's id in the topology.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The address the node's server bound.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The node's published liveness view.
+    pub fn health(&self) -> &Arc<PeerHealth> {
+        &self.health
+    }
+
+    fn stop_gossip(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.gossip_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// A running cluster: the shared topology and every node.
+pub struct Cluster {
+    topology: SharedTopology,
+    nodes: Vec<ClusterNode>,
+}
+
+/// Sums each owned location's total obtainable quantity, for the
+/// digest's piggybacked supply summary.
+fn supply_summary(slice: &ResourceSet) -> Vec<(String, u64)> {
+    let mut by_location: BTreeMap<String, u64> = BTreeMap::new();
+    for term in slice.to_terms() {
+        let location = term.located().locations()[0].name().to_string();
+        let units = term
+            .total_quantity()
+            .map(|q| q.units())
+            .unwrap_or(u64::MAX);
+        let entry = by_location.entry(location).or_insert(0);
+        *entry = entry.saturating_add(units);
+    }
+    by_location.into_iter().collect()
+}
+
+impl Cluster {
+    /// Launches every node of `topology` over its slice of `theta`,
+    /// each running `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors (e.g. a pinned address already in use).
+    pub fn launch<P>(
+        topology: Topology,
+        theta: &ResourceSet,
+        policy: P,
+        config: ClusterConfig,
+    ) -> io::Result<Cluster>
+    where
+        P: AdmissionPolicy + Clone + Send + 'static,
+    {
+        let shared: SharedTopology = Arc::new(RwLock::new(topology.clone()));
+        let mut nodes = Vec::new();
+        // Phase one: bind every server and record its real address.
+        for (index, spec) in topology.nodes().iter().enumerate() {
+            let slice = topology.slice(theta, &spec.id);
+            let bind_addr: SocketAddr = spec
+                .addr
+                .parse()
+                // PANIC-OK: the fallback is a literal loopback address.
+                .unwrap_or_else(|_| "127.0.0.1:0".parse().expect("literal parses"));
+            let server_config = ServerConfig {
+                addr: bind_addr,
+                shards: config.shards,
+                fault_plan: config.fault_plans.get(&spec.id).cloned(),
+                queue_capacity: config.queue_capacity,
+                ..ServerConfig::default()
+            };
+            let engine = Arc::new(Mutex::new(GossipEngine::new(
+                &spec.id,
+                &spec.addr,
+                &topology.peers_of(&spec.id),
+                config.seed + index as u64,
+                config.suspect_after,
+            )));
+            let health = Arc::new(PeerHealth::new());
+            let router_config = RouterConfig {
+                me: spec.id.clone(),
+                redirects: config.redirects,
+                peer_timeout: config.peer_timeout,
+                ttl: config.ttl,
+                ..RouterConfig::default()
+            };
+            let partitioned = Arc::new(AtomicBool::new(false));
+            let hook_topology = Arc::clone(&shared);
+            let hook_engine = Arc::clone(&engine);
+            let hook_health = Arc::clone(&health);
+            let hook_partitioned = Arc::clone(&partitioned);
+            let handle = Server::spawn_hooked(
+                server_config,
+                policy.clone(),
+                &slice,
+                move |local| {
+                    Arc::new(ClusterRouter::new(
+                        router_config,
+                        hook_topology,
+                        hook_engine,
+                        hook_health,
+                        local,
+                        hook_partitioned,
+                    ))
+                },
+            )?;
+            let addr = handle.local_addr();
+            shared
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .set_addr(&spec.id, &addr.to_string());
+            {
+                let mut engine = engine
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                engine.set_addr(&addr.to_string());
+                engine.set_supply(supply_summary(&slice));
+            }
+            nodes.push((spec.id.clone(), addr, handle, engine, health, partitioned));
+        }
+        // Phase two: every address is known; start the gossip runtimes.
+        let mut running = Vec::new();
+        for (id, addr, handle, engine, health, partitioned) in nodes {
+            let stop = Arc::new(AtomicBool::new(false));
+            let thread = spawn_gossip_runtime(
+                id.clone(),
+                Arc::clone(&shared),
+                engine,
+                Arc::clone(&health),
+                &handle,
+                config.gossip_interval,
+                config.peer_timeout,
+                Arc::clone(&partitioned),
+                Arc::clone(&stop),
+            )?;
+            running.push(ClusterNode {
+                id,
+                addr,
+                handle,
+                health,
+                partitioned,
+                stop,
+                gossip_thread: Some(thread),
+            });
+        }
+        Ok(Cluster {
+            topology: shared,
+            nodes: running,
+        })
+    }
+
+    /// The shared topology, with real bound addresses patched in.
+    pub fn topology(&self) -> SharedTopology {
+        Arc::clone(&self.topology)
+    }
+
+    /// Every node, in topology order.
+    pub fn nodes(&self) -> &[ClusterNode] {
+        &self.nodes
+    }
+
+    /// Looks a node up by id.
+    pub fn node(&self, id: &str) -> Option<&ClusterNode> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+
+    /// Every node's bound address, in topology order.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.nodes.iter().map(|n| n.addr).collect()
+    }
+
+    /// Blocks until every node believes every other node alive, or
+    /// `timeout` passes. Returns whether convergence was reached.
+    pub fn await_converged(&self, timeout: Duration) -> bool {
+        let ids: Vec<String> = self.nodes.iter().map(|n| n.id.clone()).collect();
+        let deadline = Instant::now() + timeout;
+        loop {
+            let converged = self.nodes.iter().all(|node| {
+                ids.iter()
+                    .all(|id| id == &node.id || node.health.is_alive(id))
+            });
+            if converged {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(15));
+        }
+    }
+
+    /// Cuts a node off the gossip plane (`true`) or reconnects it
+    /// (`false`): its runtime stops dialing out and its router answers
+    /// inbound gossip with an injected error, so the rest of the
+    /// cluster stops hearing fresh beats — a deterministic partition.
+    /// Admission traffic is unaffected at the socket level; what
+    /// protects it is the degraded-mode routing this partition trips.
+    pub fn partition(&self, id: &str, partitioned: bool) {
+        if let Some(node) = self.node(id) {
+            node.partitioned.store(partitioned, Ordering::SeqCst);
+        }
+    }
+
+    /// Stops a node outright: gossip runtime first, then its server.
+    /// The survivors' gossip marks it suspect within `suspect_after`
+    /// rounds.
+    pub fn kill(&mut self, id: &str) {
+        if let Some(position) = self.nodes.iter().position(|n| n.id == id) {
+            let mut node = self.nodes.remove(position);
+            node.stop_gossip();
+            node.handle.shutdown();
+        }
+    }
+
+    /// Stops every node.
+    pub fn shutdown(mut self) {
+        for node in &mut self.nodes {
+            node.stop_gossip();
+        }
+        for node in &self.nodes {
+            node.handle.shutdown();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for node in &mut self.nodes {
+            node.stop_gossip();
+        }
+    }
+}
+
+/// One node's gossip loop: advance the round, beat, exchange with the
+/// round's seeded target, publish conclusions.
+#[allow(clippy::too_many_arguments)]
+fn spawn_gossip_runtime(
+    me: String,
+    topology: SharedTopology,
+    engine: Arc<Mutex<GossipEngine>>,
+    health: Arc<PeerHealth>,
+    handle: &ServerHandle,
+    interval: Duration,
+    peer_timeout: Duration,
+    partitioned: Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
+) -> io::Result<JoinHandle<()>> {
+    let registry = handle.registry();
+    let round_ns: Arc<Histogram> =
+        registry.histogram("cluster.gossip.round_ns", Histogram::latency_ns_bounds());
+    let peer_gauges: BTreeMap<String, _> = topology
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .peers_of(&me)
+        .into_iter()
+        .map(|(id, _)| {
+            let gauge = registry.gauge(&format!("cluster.peer.alive{{peer={id}}}"));
+            (id, gauge)
+        })
+        .collect();
+    std::thread::Builder::new()
+        .name(format!("rota-gossip-{me}"))
+        .spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(interval);
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let started = Instant::now();
+                // Rounds advance even while partitioned, so the cut-off
+                // node's own suspicion arithmetic keeps moving too.
+                let round = health.round() + 1;
+                let peers = topology
+                    .read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .peers_of(&me);
+                let target = {
+                    let mut engine = engine
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    for (id, addr) in &peers {
+                        engine.learn_addr(id, addr);
+                    }
+                    engine.beat();
+                    engine.pick_target()
+                };
+                if !partitioned.load(Ordering::SeqCst) {
+                    if let Some((_, addr)) = target {
+                        let outbound = {
+                            let engine = engine
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            engine.digest()
+                        };
+                        if let Some(ack) = exchange(&addr, &me, outbound, peer_timeout) {
+                            engine
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .absorb(&ack, round);
+                        }
+                    }
+                }
+                let alive = {
+                    let engine = engine
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    engine.alive_set(round)
+                };
+                for (peer, gauge) in &peer_gauges {
+                    gauge.set(i64::from(alive.contains(peer)));
+                }
+                health.publish(alive, round);
+                round_ns.observe(
+                    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                );
+            }
+        })
+}
+
+/// One wire exchange: handshake, send our digest, absorb the ack's.
+fn exchange(
+    addr: &str,
+    me: &str,
+    digest: rota_server::GossipDigest,
+    timeout: Duration,
+) -> Option<rota_server::GossipDigest> {
+    let socket: SocketAddr = addr.parse().ok()?;
+    let mut client = rota_client::Client::connect_timeout(socket, timeout).ok()?;
+    client.hello_as(Some(me)).ok()?;
+    match client.call(&Request::Gossip { digest }).ok()? {
+        Response::GossipAck { digest } => Some(digest),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rota_interval::TimeInterval;
+    use rota_resource::{LocatedType, Location, Rate, ResourceTerm};
+
+    #[test]
+    fn supply_summaries_total_rate_times_window() {
+        let slice = ResourceSet::from_terms([
+            ResourceTerm::new(
+                Rate::new(4),
+                TimeInterval::from_ticks(0, 10).unwrap(),
+                LocatedType::cpu(Location::new("l0")),
+            ),
+            ResourceTerm::new(
+                Rate::new(2),
+                TimeInterval::from_ticks(0, 10).unwrap(),
+                LocatedType::memory(Location::new("l0")),
+            ),
+        ])
+        .unwrap();
+        let summary = supply_summary(&slice);
+        assert_eq!(summary, vec![("l0".to_string(), 60)]);
+    }
+}

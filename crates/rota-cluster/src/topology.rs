@@ -1,0 +1,340 @@
+//! Cluster topology: which node owns which locations.
+//!
+//! A topology is a static assignment of every location to exactly one
+//! node. Ownership is the routing key for the whole federation: an
+//! admission request lands wherever the client likes, and the
+//! receiving node's router forwards or coordinates based on which
+//! nodes own the locations the request's demand touches. Link terms
+//! (`network(a → b)`) are owned by the *source* location's node, the
+//! same convention `rota-server`'s shard router uses.
+//!
+//! Topologies come from a JSON file (`{"nodes": [{"id", "addr",
+//! "locations": [...]}]}`) or from [`Topology::auto`], which assigns
+//! location `l{i}` to node `node{i}` — matching the locations
+//! `rota-workload` generates. Addresses may be left empty (`""`) to
+//! mean "bind an ephemeral port"; `Cluster::launch` patches the real
+//! bound addresses back into the shared topology before gossip starts.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, RwLock};
+
+use rota_obs::Json;
+use rota_resource::ResourceSet;
+
+/// One node in the cluster: an id, a serve address, and the locations
+/// it owns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Unique node id (e.g. `node0`).
+    pub id: String,
+    /// Address the node serves on (`host:port`), or empty for
+    /// "ephemeral, patched after bind".
+    pub addr: String,
+    /// Names of the locations this node owns.
+    pub locations: Vec<String>,
+}
+
+/// Errors building or parsing a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyError(pub String);
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "topology: {}", self.0)
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A validated location → node assignment.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<NodeSpec>,
+    owners: BTreeMap<String, usize>,
+}
+
+/// A topology shared between a node's router, its gossip runtime, and
+/// the launcher that patches in bound addresses.
+pub type SharedTopology = Arc<RwLock<Topology>>;
+
+impl Topology {
+    /// Builds a topology, validating that node ids are unique, every
+    /// node owns at least one location, and no location has two owners.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError`] naming the offending node or location.
+    pub fn new(nodes: Vec<NodeSpec>) -> Result<Topology, TopologyError> {
+        if nodes.is_empty() {
+            return Err(TopologyError("a cluster needs at least one node".into()));
+        }
+        let mut owners = BTreeMap::new();
+        let mut ids = BTreeSet::new();
+        for (index, node) in nodes.iter().enumerate() {
+            if node.id.is_empty() {
+                return Err(TopologyError(format!("node #{index} has an empty id")));
+            }
+            if !ids.insert(node.id.clone()) {
+                return Err(TopologyError(format!("duplicate node id `{}`", node.id)));
+            }
+            if node.locations.is_empty() {
+                return Err(TopologyError(format!(
+                    "node `{}` owns no locations",
+                    node.id
+                )));
+            }
+            for location in &node.locations {
+                if let Some(previous) = owners.insert(location.clone(), index) {
+                    return Err(TopologyError(format!(
+                        "location `{location}` is owned by both `{}` and `{}`",
+                        nodes[previous].id, node.id
+                    )));
+                }
+            }
+        }
+        Ok(Topology { nodes, owners })
+    }
+
+    /// The canonical `n`-node topology: node `node{i}` owns location
+    /// `l{i}` (the naming `rota-workload` generates), with ephemeral
+    /// addresses.
+    ///
+    /// # Panics
+    ///
+    /// If `n` is zero.
+    pub fn auto(n: usize) -> Topology {
+        assert!(n > 0, "a cluster needs at least one node");
+        Topology::new(
+            (0..n)
+                .map(|i| NodeSpec {
+                    id: format!("node{i}"),
+                    addr: String::new(),
+                    locations: vec![format!("l{i}")],
+                })
+                .collect(),
+        )
+        // PANIC-OK: node `i` owns exactly `l{i}` — ids and locations
+        // cannot collide by construction.
+        .expect("auto topologies are disjoint by construction")
+    }
+
+    /// Parses a topology from its JSON document form:
+    /// `{"nodes": [{"id", "addr"?, "locations": [...]}]}`.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError`] on schema violations or ownership overlaps.
+    pub fn from_json(doc: &Json) -> Result<Topology, TopologyError> {
+        let nodes_value = doc
+            .get("nodes")
+            .ok_or_else(|| TopologyError("missing `nodes` array".into()))?;
+        let entries = nodes_value
+            .as_array()
+            .ok_or_else(|| TopologyError("`nodes` must be an array".into()))?;
+        let mut nodes = Vec::new();
+        for entry in entries {
+            let id = entry
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| TopologyError("node entry missing string `id`".into()))?
+                .to_string();
+            let addr = entry
+                .get("addr")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            let locations_value = entry
+                .get("locations")
+                .and_then(Json::as_array)
+                .ok_or_else(|| {
+                    TopologyError(format!("node `{id}` missing `locations` array"))
+                })?;
+            let mut locations = Vec::new();
+            for location in locations_value {
+                locations.push(
+                    location
+                        .as_str()
+                        .ok_or_else(|| {
+                            TopologyError(format!(
+                                "node `{id}`: locations must be strings"
+                            ))
+                        })?
+                        .to_string(),
+                );
+            }
+            nodes.push(NodeSpec { id, addr, locations });
+        }
+        Topology::new(nodes)
+    }
+
+    /// Parses a topology from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError`] on malformed JSON or schema violations.
+    pub fn parse(text: &str) -> Result<Topology, TopologyError> {
+        let doc = Json::parse(text).map_err(|e| TopologyError(e.to_string()))?;
+        Topology::from_json(&doc)
+    }
+
+    /// Serializes the topology as its JSON document form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![(
+            "nodes".into(),
+            Json::Arr(
+                self.nodes
+                    .iter()
+                    .map(|node| {
+                        Json::Obj(vec![
+                            ("id".into(), Json::Str(node.id.clone())),
+                            ("addr".into(), Json::Str(node.addr.clone())),
+                            (
+                                "locations".into(),
+                                Json::Arr(
+                                    node.locations
+                                        .iter()
+                                        .map(|l| Json::Str(l.clone()))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+
+    /// All nodes, in declaration order.
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// Looks a node up by id.
+    pub fn node(&self, id: &str) -> Option<&NodeSpec> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+
+    /// The node owning `location`, if any.
+    pub fn owner_of(&self, location: &str) -> Option<&NodeSpec> {
+        self.owners.get(location).map(|&i| &self.nodes[i])
+    }
+
+    /// Every location any node owns.
+    pub fn locations(&self) -> BTreeSet<String> {
+        self.owners.keys().cloned().collect()
+    }
+
+    /// Records the address `id` actually bound (ephemeral-port launch).
+    pub fn set_addr(&mut self, id: &str, addr: &str) {
+        if let Some(node) = self.nodes.iter_mut().find(|n| n.id == id) {
+            node.addr = addr.to_string();
+        }
+    }
+
+    /// The other nodes, from `id`'s perspective: `(peer id, addr)`.
+    pub fn peers_of(&self, id: &str) -> Vec<(String, String)> {
+        self.nodes
+            .iter()
+            .filter(|n| n.id != id)
+            .map(|n| (n.id.clone(), n.addr.clone()))
+            .collect()
+    }
+
+    /// The slice of `theta` that `id` owns: every term whose located
+    /// type's first location (the source, for links) belongs to `id`.
+    /// Terms at locations no node owns are dropped from every slice.
+    pub fn slice(&self, theta: &ResourceSet, id: &str) -> ResourceSet {
+        let owned: BTreeSet<&str> = self
+            .node(id)
+            .map(|n| n.locations.iter().map(String::as_str).collect())
+            .unwrap_or_default();
+        ResourceSet::from_terms(theta.to_terms().into_iter().filter(|term| {
+            term.located()
+                .locations()
+                .first()
+                .is_some_and(|l| owned.contains(l.name()))
+        }))
+        // PANIC-OK: filtering terms out of a set that already passed
+        // validation cannot introduce an unbounded rate.
+        .expect("a filtered subset of a valid set is a valid set")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rota_interval::TimeInterval;
+    use rota_resource::{LocatedType, Location, Rate, ResourceTerm};
+
+    fn theta(locations: &[&str]) -> ResourceSet {
+        ResourceSet::from_terms(locations.iter().map(|l| {
+            ResourceTerm::new(
+                Rate::new(4),
+                TimeInterval::from_ticks(0, 32).unwrap(),
+                LocatedType::cpu(Location::new(*l)),
+            )
+        }))
+        .unwrap()
+    }
+
+    #[test]
+    fn auto_topology_round_trips_through_json() {
+        let topology = Topology::auto(3);
+        let text = topology.to_json().to_string();
+        let parsed = Topology::parse(&text).unwrap();
+        assert_eq!(parsed.nodes(), topology.nodes());
+        assert_eq!(parsed.owner_of("l2").unwrap().id, "node2");
+        assert!(parsed.owner_of("l9").is_none());
+    }
+
+    #[test]
+    fn overlapping_ownership_is_rejected() {
+        let err = Topology::new(vec![
+            NodeSpec {
+                id: "a".into(),
+                addr: String::new(),
+                locations: vec!["l0".into()],
+            },
+            NodeSpec {
+                id: "b".into(),
+                addr: String::new(),
+                locations: vec!["l0".into()],
+            },
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("l0"), "{err}");
+    }
+
+    #[test]
+    fn slices_partition_the_supply() {
+        let topology = Topology::auto(3);
+        let full = theta(&["l0", "l1", "l2"]);
+        let union = topology
+            .slice(&full, "node0")
+            .union(&topology.slice(&full, "node1"))
+            .unwrap()
+            .union(&topology.slice(&full, "node2"))
+            .unwrap();
+        assert_eq!(union, full);
+        // Each slice holds exactly its own location.
+        let slice = topology.slice(&full, "node1");
+        assert_eq!(slice.to_terms().len(), 1);
+        assert_eq!(
+            slice.to_terms()[0].located().locations()[0].name(),
+            "l1"
+        );
+    }
+
+    #[test]
+    fn link_terms_belong_to_the_source_node() {
+        let full = ResourceSet::from_terms([ResourceTerm::new(
+            Rate::new(2),
+            TimeInterval::from_ticks(0, 8).unwrap(),
+            LocatedType::network(Location::new("l0"), Location::new("l1")),
+        )])
+        .unwrap();
+        let topology = Topology::auto(2);
+        assert_eq!(topology.slice(&full, "node0").to_terms().len(), 1);
+        assert!(topology.slice(&full, "node1").to_terms().is_empty());
+    }
+}

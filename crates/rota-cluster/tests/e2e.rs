@@ -1,0 +1,267 @@
+//! End-to-end cluster tests over real TCP: gossip convergence,
+//! location routing (local fast path, forward, redirect, 2PC), offer
+//! splitting, the `R0016` ownership lint, and the version handshake.
+
+use std::time::Duration;
+
+use rota_actor::{ActionKind, ActorComputation, DistributedComputation, Granularity};
+use rota_admission::RotaPolicy;
+use rota_cluster::{Cluster, ClusterConfig, Topology};
+use rota_interval::{TimeInterval, TimePoint};
+use rota_resource::{LocatedType, Location, Rate, ResourceSet, ResourceTerm};
+use rota_server::{Request, Response};
+
+fn theta(locations: &[&str]) -> ResourceSet {
+    ResourceSet::from_terms(locations.iter().map(|l| {
+        ResourceTerm::new(
+            Rate::new(8),
+            TimeInterval::from_ticks(0, 64).unwrap(),
+            LocatedType::cpu(Location::new(*l)),
+        )
+    }))
+    .unwrap()
+}
+
+/// A job whose every actor evaluates once at its own location — the
+/// demand touches exactly `origins`.
+fn job(name: &str, origins: &[&str], deadline: u64) -> DistributedComputation {
+    let actors = origins
+        .iter()
+        .enumerate()
+        .map(|(i, origin)| {
+            ActorComputation::new(format!("{name}-a{i}"), *origin).then(ActionKind::evaluate())
+        })
+        .collect();
+    DistributedComputation::new(name, actors, TimePoint::ZERO, TimePoint::new(deadline)).unwrap()
+}
+
+fn test_config() -> ClusterConfig {
+    ClusterConfig {
+        gossip_interval: Duration::from_millis(20),
+        peer_timeout: Duration::from_secs(2),
+        ..ClusterConfig::default()
+    }
+}
+
+fn launch(n: usize, config: ClusterConfig) -> Cluster {
+    let locations: Vec<String> = (0..n).map(|i| format!("l{i}")).collect();
+    let refs: Vec<&str> = locations.iter().map(String::as_str).collect();
+    let cluster =
+        Cluster::launch(Topology::auto(n), &theta(&refs), RotaPolicy, config).unwrap();
+    assert!(
+        cluster.await_converged(Duration::from_secs(10)),
+        "gossip failed to converge"
+    );
+    cluster
+}
+
+fn client_for(cluster: &Cluster, index: usize) -> rota_client::Client {
+    rota_client::Client::connect_timeout(cluster.addrs()[index], Duration::from_secs(2)).unwrap()
+}
+
+fn accepted(response: &Response) -> bool {
+    matches!(response, Response::Decision { accepted: true, .. })
+}
+
+#[test]
+fn gossip_converges_and_piggybacks_supply() {
+    let cluster = launch(3, test_config());
+    for node in cluster.nodes() {
+        assert_eq!(node.health().alive_nodes().len(), 3, "node {}", node.id());
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn local_demand_takes_the_fast_path() {
+    let cluster = launch(2, test_config());
+    let mut client = client_for(&cluster, 0);
+    let response = client.admit(&job("local", &["l0"], 16), Granularity::MaximalRun).unwrap();
+    assert!(accepted(&response), "{response:?}");
+    let (stats0, _) = client.stats().unwrap();
+    assert_eq!(stats0.accepted, 1);
+    let (stats1, _) = client_for(&cluster, 1).stats().unwrap();
+    assert_eq!(stats1.accepted, 0, "node1 must not see a local-only job");
+    cluster.shutdown();
+}
+
+#[test]
+fn remote_demand_is_forwarded_to_the_owner() {
+    let cluster = launch(2, test_config());
+    let mut client = client_for(&cluster, 0);
+    let response = client.admit(&job("remote", &["l1"], 16), Granularity::MaximalRun).unwrap();
+    assert!(accepted(&response), "{response:?}");
+    // The decision was made (and the commitments installed) on node1.
+    let (stats1, _) = client_for(&cluster, 1).stats().unwrap();
+    assert_eq!(stats1.accepted, 1);
+    let (stats0, _) = client.stats().unwrap();
+    assert_eq!(stats0.accepted, 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn cross_location_demand_runs_two_phase_commit() {
+    let cluster = launch(3, test_config());
+    // Submit to node2, which owns neither demanded location: the
+    // router coordinates nodes 0 and 1.
+    let mut client = client_for(&cluster, 2);
+    let response = client.admit(&job("span", &["l0", "l1"], 16), Granularity::MaximalRun).unwrap();
+    match &response {
+        Response::Decision { accepted, reason, .. } => {
+            assert!(*accepted, "{response:?}");
+            assert!(reason.contains("two-phase commit"), "{reason}");
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    // Both owners hold the installed commitments.
+    for index in [0, 1] {
+        let (stats, _) = client_for(&cluster, index).stats().unwrap();
+        assert_eq!(stats.accepted, 1, "node{index}");
+    }
+    // And a spanning job whose demand exceeds the supply obtainable
+    // before its deadline is rejected by the policy, not an error.
+    let heavy = DistributedComputation::new(
+        "span2",
+        vec![
+            ActorComputation::new("span2-a0", "l0").then(ActionKind::evaluate_units(64)),
+            ActorComputation::new("span2-a1", "l1").then(ActionKind::evaluate_units(64)),
+        ],
+        TimePoint::ZERO,
+        TimePoint::new(2),
+    )
+    .unwrap();
+    let response = client.admit(&heavy, Granularity::MaximalRun).unwrap();
+    match &response {
+        Response::Decision { accepted: false, .. } => {}
+        other => panic!("expected a policy reject, got {other:?}"),
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn redirect_mode_points_at_the_owner() {
+    let cluster = launch(2, ClusterConfig {
+        redirects: true,
+        ..test_config()
+    });
+    let mut client = client_for(&cluster, 0);
+    let response = client.admit(&job("redirected", &["l1"], 16), Granularity::MaximalRun).unwrap();
+    match response {
+        Response::Redirect { addr, reason } => {
+            assert_eq!(addr, cluster.addrs()[1].to_string());
+            assert!(reason.contains("node1"), "{reason}");
+            // Following the redirect decides on the owner.
+            let mut owner =
+                rota_client::Client::connect_timeout(addr.parse().unwrap(), Duration::from_secs(2))
+                    .unwrap();
+            let response =
+                owner.admit(&job("redirected", &["l1"], 16), Granularity::MaximalRun).unwrap();
+            assert!(accepted(&response), "{response:?}");
+        }
+        other => panic!("expected a redirect, got {other:?}"),
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn offers_are_split_by_owner() {
+    let cluster = launch(2, test_config());
+    let mut client = client_for(&cluster, 0);
+    // Two terms, one per owner, offered through node0.
+    let offer = ResourceSet::from_terms([
+        ResourceTerm::new(
+            Rate::new(2),
+            TimeInterval::from_ticks(64, 96).unwrap(),
+            LocatedType::cpu(Location::new("l0")),
+        ),
+        ResourceTerm::new(
+            Rate::new(2),
+            TimeInterval::from_ticks(64, 96).unwrap(),
+            LocatedType::cpu(Location::new("l1")),
+        ),
+    ])
+    .unwrap();
+    assert_eq!(client.offer(&offer).unwrap(), 2);
+    // node1's obtainable snapshot now covers the late window.
+    let response = client_for(&cluster, 1).call(&Request::ClusterSnapshot).unwrap();
+    match response {
+        Response::ClusterState { resources, .. } => {
+            assert!(resources.to_string().contains("96"), "{resources}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn unowned_locations_are_rejected_with_r0016() {
+    let cluster = launch(2, test_config());
+    let mut client = client_for(&cluster, 0);
+    let response = client.admit(&job("nowhere", &["l9"], 16), Granularity::MaximalRun).unwrap();
+    match &response {
+        Response::Decision { accepted, clause, diagnostics, .. } => {
+            assert!(!accepted);
+            assert_eq!(clause.as_deref(), Some("cluster routing (location ownership)"));
+            let rendered: String =
+                diagnostics.iter().map(|d| d.to_string()).collect();
+            assert!(rendered.contains("R0016"), "{rendered}");
+            assert!(rendered.contains("l9"), "{rendered}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn cluster_client_follows_redirects_and_fails_over() {
+    use rota_client::ClusterClient;
+    // Redirect mode: the multi-address client chases the owner.
+    let cluster = launch(2, ClusterConfig {
+        redirects: true,
+        ..test_config()
+    });
+    let mut client = ClusterClient::new(cluster.addrs()).unwrap();
+    let response = client
+        .admit(&job("chased", &["l1"], 16), Granularity::MaximalRun)
+        .unwrap();
+    assert!(accepted(&response), "{response:?}");
+    assert_eq!(client.stats().redirects_followed, 1);
+    assert_eq!(
+        client.current_addr(),
+        cluster.addrs()[1],
+        "the client must stick to the owner it was redirected to"
+    );
+    cluster.shutdown();
+
+    // Failover: with node0 dead, a client given the full address list
+    // has its dial refused and rotates to the survivor, which still
+    // answers admissions for its own locations.
+    let mut cluster = launch(2, test_config());
+    let addrs = cluster.addrs();
+    cluster.kill("node0");
+    let mut client = ClusterClient::new(addrs.clone()).unwrap();
+    let response = client
+        .admit(&job("after-kill", &["l1"], 16), Granularity::MaximalRun)
+        .unwrap();
+    assert!(accepted(&response), "{response:?}");
+    assert!(client.stats().failovers >= 1);
+    assert_eq!(client.current_addr(), addrs[1]);
+    cluster.shutdown();
+}
+
+#[test]
+fn version_mismatch_is_a_structured_error() {
+    let cluster = launch(1, test_config());
+    let mut client = client_for(&cluster, 0);
+    let response = client
+        .call(&Request::Hello { version: 99, node: None })
+        .unwrap();
+    match response {
+        Response::Error { message } => {
+            assert!(message.contains("version-mismatch"), "{message}");
+            assert!(message.contains("99"), "{message}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    cluster.shutdown();
+}

@@ -17,6 +17,8 @@
 //! | truncate | connection, on the response | write a prefix of the frame, then close |
 //! | corrupt | connection, on the response | flip one byte of the frame |
 //! | panic | shard worker, before the controller decides | deliberate panic; the worker restarts (see [`crate::shard`]) |
+//! | reset_first | the first N connections, at their first frame | deterministic heal-able partition (gossip heartbeats burn the budget, then recover) |
+//! | panic_2pc | cluster router, between 2PC prepare and commit | the coordinating connection dies with reservations prepared everywhere; they must TTL-expire (see `rota-cluster`) |
 //!
 //! Reset and panic fire *before* the admission controller mutates, so a
 //! retrying client cannot cause a double admission through them.
@@ -55,9 +57,18 @@ pub struct FaultPlan {
     /// Probability a connection is reset after reading a request,
     /// before handling it.
     pub reset_p: f64,
+    /// Deterministically reset the first `n` connections at their first
+    /// frame — a heal-able partition: once the budget is burnt,
+    /// connections (and so cluster heartbeats) succeed again.
+    pub reset_first: u64,
     /// Force a shard panic on the Nth admit processed by the pool
     /// (1-based); `None` disables.
     pub panic_nth: Option<u64>,
+    /// Kill the Nth two-phase-commit coordination on this node (1-based)
+    /// between its prepare and commit phases — the prepared-but-never-
+    /// committed reservations at every participant must TTL-expire, not
+    /// leak. `None` disables.
+    pub panic_2pc_nth: Option<u64>,
 }
 
 impl Default for FaultPlan {
@@ -69,7 +80,9 @@ impl Default for FaultPlan {
             truncate_p: 0.0,
             corrupt_p: 0.0,
             reset_p: 0.0,
+            reset_first: 0,
             panic_nth: None,
+            panic_2pc_nth: None,
         }
     }
 }
@@ -78,8 +91,9 @@ impl FaultPlan {
     /// Parses the `key=value[,key=value…]` spec format.
     ///
     /// Keys: `seed`, `latency_ms`, `latency_p`, `truncate_p`,
-    /// `corrupt_p`, `reset_p`, `panic_nth`. Unknown keys and malformed
-    /// values are errors; probabilities must lie in `[0, 1]`.
+    /// `corrupt_p`, `reset_p`, `reset_first`, `panic_nth`,
+    /// `panic_2pc_nth`. Unknown keys and malformed values are errors;
+    /// probabilities must lie in `[0, 1]`.
     ///
     /// # Errors
     ///
@@ -111,7 +125,9 @@ impl FaultPlan {
                 "truncate_p" => plan.truncate_p = prob(value)?,
                 "corrupt_p" => plan.corrupt_p = prob(value)?,
                 "reset_p" => plan.reset_p = prob(value)?,
+                "reset_first" => plan.reset_first = int(value)?,
                 "panic_nth" => plan.panic_nth = Some(int(value)?),
+                "panic_2pc_nth" => plan.panic_2pc_nth = Some(int(value)?),
                 other => return Err(format!("chaos spec: unknown key `{other}`")),
             }
         }
@@ -124,7 +140,9 @@ impl FaultPlan {
             || self.truncate_p > 0.0
             || self.corrupt_p > 0.0
             || self.reset_p > 0.0
+            || self.reset_first > 0
             || self.panic_nth.is_some()
+            || self.panic_2pc_nth.is_some()
     }
 }
 
@@ -147,6 +165,7 @@ pub struct FaultInjector {
     plan: FaultPlan,
     connections: AtomicU64,
     admits: AtomicU64,
+    coordinations: AtomicU64,
     latency: Arc<Counter>,
     truncate: Arc<Counter>,
     corrupt: Arc<Counter>,
@@ -162,6 +181,7 @@ impl FaultInjector {
             plan,
             connections: AtomicU64::new(0),
             admits: AtomicU64::new(0),
+            coordinations: AtomicU64::new(0),
             latency: registry.counter("server.faults.latency"),
             truncate: registry.counter("server.faults.truncate"),
             corrupt: registry.counter("server.faults.corrupt"),
@@ -189,6 +209,7 @@ impl FaultInjector {
         ConnectionFaults {
             injector: self,
             state,
+            reset_budgeted: index < self.plan.reset_first,
         }
     }
 
@@ -200,6 +221,25 @@ impl FaultInjector {
             return false;
         };
         let seen = self.admits.fetch_add(1, Ordering::Relaxed) + 1;
+        if seen == nth {
+            self.panics.inc();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Cluster-router hook: returns `true` exactly once, on this node's
+    /// `panic_2pc_nth`-th two-phase coordination (1-based), *between*
+    /// the prepare and commit phases. The caller is expected to panic
+    /// with [`INJECTED_PANIC`], killing the coordinating connection
+    /// while the prepared reservations sit uncommitted at every
+    /// participant — the leak drill the TTL must win.
+    pub fn take_2pc_ticket(&self) -> bool {
+        let Some(nth) = self.plan.panic_2pc_nth else {
+            return false;
+        };
+        let seen = self.coordinations.fetch_add(1, Ordering::Relaxed) + 1;
         if seen == nth {
             self.panics.inc();
             true
@@ -249,6 +289,9 @@ pub enum WireFault {
 pub struct ConnectionFaults<'a> {
     injector: &'a FaultInjector,
     state: u64,
+    /// Whether this connection falls inside the plan's `reset_first`
+    /// budget (its first frame is dropped unanswered).
+    reset_budgeted: bool,
 }
 
 impl ConnectionFaults<'_> {
@@ -273,8 +316,15 @@ impl ConnectionFaults<'_> {
     }
 
     /// Whether to reset the connection *before* handling the request it
-    /// just read. Counts into `server.faults.reset` when it fires.
+    /// just read — either this connection falls inside the plan's
+    /// deterministic `reset_first` budget, or the probabilistic
+    /// `reset_p` draw fires. Counts into `server.faults.reset`.
     pub fn reset_before_handling(&mut self) -> bool {
+        if self.reset_budgeted {
+            self.reset_budgeted = false;
+            self.injector.reset.inc();
+            return true;
+        }
         let plan = self.injector.plan();
         if plan.reset_p <= 0.0 || self.unit() >= plan.reset_p {
             return false;
@@ -372,6 +422,51 @@ mod tests {
             registry.snapshot().counter("server.faults.panic"),
             Some(1)
         );
+    }
+
+    #[test]
+    fn reset_first_burns_a_deterministic_budget() {
+        let registry = Registry::new();
+        let injector = FaultInjector::new(
+            FaultPlan {
+                reset_first: 2,
+                ..FaultPlan::default()
+            },
+            &registry,
+        );
+        assert!(injector.plan().is_active());
+        // First two connections: reset at the first frame only.
+        for _ in 0..2 {
+            let mut conn = injector.connection();
+            assert!(conn.reset_before_handling());
+            assert!(!conn.reset_before_handling(), "budget is one frame");
+        }
+        // The partition heals: later connections are untouched.
+        let mut conn = injector.connection();
+        for _ in 0..8 {
+            assert!(!conn.reset_before_handling());
+        }
+        assert_eq!(registry.snapshot().counter("server.faults.reset"), Some(2));
+    }
+
+    #[test]
+    fn twopc_ticket_fires_exactly_once() {
+        let registry = Registry::new();
+        let injector = FaultInjector::new(
+            FaultPlan {
+                panic_2pc_nth: Some(2),
+                ..FaultPlan::default()
+            },
+            &registry,
+        );
+        assert!(injector.plan().is_active());
+        let fired: Vec<bool> = (0..4).map(|_| injector.take_2pc_ticket()).collect();
+        assert_eq!(fired, vec![false, true, false, false]);
+        // Independent of the shard-panic stream.
+        assert!(!injector.take_panic_ticket());
+        let plan = FaultPlan::parse("panic_2pc_nth=2,reset_first=3").unwrap();
+        assert_eq!(plan.panic_2pc_nth, Some(2));
+        assert_eq!(plan.reset_first, 3);
     }
 
     #[test]

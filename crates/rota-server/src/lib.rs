@@ -36,6 +36,9 @@ pub mod shard;
 pub mod spec;
 
 pub use fault::{FaultInjector, FaultPlan};
-pub use protocol::{Request, Response, MAX_FRAME_BYTES};
-pub use server::{spawn_policy_by_name, Server, ServerConfig, ServerHandle, POLICY_NAMES};
+pub use protocol::{GossipDigest, PeerBeat, Request, Response, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+pub use server::{
+    spawn_policy_by_name, LocalHandle, RequestHook, Server, ServerConfig, ServerHandle,
+    POLICY_NAMES,
+};
 pub use shard::{route_request, shard_of, split_by_shard};

@@ -13,12 +13,34 @@
 //!
 //! | op | payload | response |
 //! |---|---|---|
+//! | `hello` | `version`, optional `node` | `welcome`, or `error` on a version mismatch |
 //! | `ping` | — | `pong` |
-//! | `admit` | `computation` (spec object), optional `granularity` | `decision` or `overloaded` |
-//! | `offer` | `resources` (spec array) | `offered` |
+//! | `admit` | `computation` (spec object), optional `granularity`, optional `forwarded` | `decision`, `overloaded`, or `redirect` |
+//! | `offer` | `resources` (spec array), optional `forwarded` | `offered` |
 //! | `stats` | — | `stats` (aggregated over shards) |
 //! | `metrics` | — | `metrics` (registry snapshot) |
 //! | `shutdown` | — | `bye`, then the server drains and stops |
+//! | `gossip` | `digest` | `gossip-ack` (cluster members only) |
+//! | `cluster-snapshot` | — | `cluster-state` (per-shard epochs + Θ_expire) |
+//! | `prepare` | `name`, `computation`, `granularity`, `basis`, `epochs`, `ttl_ms` | `prepared`, a rejecting `decision`, or `error` |
+//! | `commit-reservation` | `name` | `committed` or `error` |
+//! | `abort-reservation` | `name` | `aborted` |
+//!
+//! The `hello` handshake is optional for same-version peers — every
+//! other op still answers without one — but lets a client or peer
+//! detect a [`PROTOCOL_VERSION`] mismatch as a structured
+//! `version-mismatch` error instead of a decode failure on some later
+//! frame. The `gossip`/`cluster-*`/`prepare`/`commit`/`abort` ops are
+//! the federation mechanism used by `rota-cluster`; a standalone server
+//! answers `gossip` with an error and serves the reservation ops
+//! against its own shards.
+
+/// Version of this wire protocol, carried by the `hello` handshake.
+///
+/// Bumped whenever a frame shape changes incompatibly; a server
+/// answers a `hello` carrying any other version with a structured
+/// `version-mismatch` error naming both versions.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 use std::io::{BufRead, Write};
 
@@ -36,9 +58,117 @@ use crate::spec::{
 /// client cannot make a connection thread buffer without bound.
 pub const MAX_FRAME_BYTES: usize = 256 * 1024;
 
+/// One peer's view of another in a gossip digest: the freshest
+/// sequence number heard and the address it serves on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerBeat {
+    /// The peer's node id.
+    pub node: String,
+    /// Freshest heartbeat sequence number heard for that node.
+    pub seq: u64,
+    /// The address the node serves on (`host:port`).
+    pub addr: String,
+}
+
+/// The payload of one gossip exchange: the sender's own heartbeat plus
+/// everything it has heard about the rest of the cluster, piggybacking
+/// a per-location supply summary.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GossipDigest {
+    /// The sending node's id.
+    pub from: String,
+    /// The sender's own heartbeat sequence number (monotonic).
+    pub seq: u64,
+    /// Freshest heartbeats the sender has heard, including indirect
+    /// ones — how liveness propagates without all-to-all traffic.
+    pub beats: Vec<PeerBeat>,
+    /// Per-location supply summary `(location, total units over the
+    /// horizon)` for the locations the sender owns.
+    pub supply: Vec<(String, u64)>,
+}
+
+impl GossipDigest {
+    /// Serializes the digest as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("from".into(), Json::Str(self.from.clone())),
+            ("seq".into(), Json::Num(self.seq as f64)),
+            (
+                "beats".into(),
+                Json::Arr(
+                    self.beats
+                        .iter()
+                        .map(|b| {
+                            Json::Obj(vec![
+                                ("node".into(), Json::Str(b.node.clone())),
+                                ("seq".into(), Json::Num(b.seq as f64)),
+                                ("addr".into(), Json::Str(b.addr.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "supply".into(),
+                Json::Arr(
+                    self.supply
+                        .iter()
+                        .map(|(location, units)| {
+                            Json::Obj(vec![
+                                ("location".into(), Json::Str(location.clone())),
+                                ("units".into(), Json::Num(*units as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes a digest from its JSON object form.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Parse`] on schema violations.
+    pub fn from_json(doc: &Json) -> Result<GossipDigest, SpecError> {
+        let fields = Fields::of(doc, "gossip digest")?;
+        fields.deny_unknown(&["from", "seq", "beats", "supply"])?;
+        let mut beats = Vec::new();
+        for beat in fields.array("beats")? {
+            let beat_fields = Fields::of(beat, "gossip beat")?;
+            beat_fields.deny_unknown(&["node", "seq", "addr"])?;
+            beats.push(PeerBeat {
+                node: beat_fields.str("node")?,
+                seq: beat_fields.u64("seq")?,
+                addr: beat_fields.str("addr")?,
+            });
+        }
+        let mut supply = Vec::new();
+        for term in fields.array("supply")? {
+            let term_fields = Fields::of(term, "gossip supply term")?;
+            term_fields.deny_unknown(&["location", "units"])?;
+            supply.push((term_fields.str("location")?, term_fields.u64("units")?));
+        }
+        Ok(GossipDigest {
+            from: fields.str("from")?,
+            seq: fields.u64("seq")?,
+            beats,
+            supply,
+        })
+    }
+}
+
 /// A client → server request.
 #[derive(Debug, Clone)]
 pub enum Request {
+    /// Version handshake: name the protocol version (and optionally the
+    /// calling node) before any other traffic.
+    Hello {
+        /// The caller's [`PROTOCOL_VERSION`].
+        version: u64,
+        /// Cluster node id of the caller, when the caller is a peer.
+        node: Option<String>,
+    },
     /// Liveness probe.
     Ping,
     /// Admission question: can the system accommodate this computation?
@@ -48,11 +178,17 @@ pub enum Request {
         /// Segmentation granularity for pricing; defaults to
         /// [`Granularity::MaximalRun`].
         granularity: Granularity,
+        /// Set when a cluster peer already routed this request here —
+        /// the receiver must decide it locally rather than forward it
+        /// again (loop prevention; see `rota-cluster`).
+        forwarded: bool,
     },
     /// Offer new resources to the system (the acquisition rule).
     Offer {
         /// Resource terms, in spec form.
         resources: Vec<ResourceSpec>,
+        /// As for [`Request::Admit`]: suppresses cluster re-routing.
+        forwarded: bool,
     },
     /// Ask for aggregated controller statistics.
     Stats,
@@ -60,44 +196,130 @@ pub enum Request {
     Metrics,
     /// Request a graceful shutdown: drain queues, then stop.
     Shutdown,
+    /// One gossip exchange (cluster members only): absorb the digest,
+    /// answer with your own.
+    Gossip {
+        /// The sender's digest.
+        digest: GossipDigest,
+    },
+    /// Ask for the per-shard state epochs and the currently obtainable
+    /// resources Θ_expire — the basis a 2PC coordinator merges.
+    ClusterSnapshot,
+    /// Phase one of a cross-location admission: tentatively install the
+    /// commitments this node's policy derives for `computation` against
+    /// the merged `basis`, guarded by a TTL.
+    Prepare {
+        /// Reservation name (the computation's identifying name).
+        name: String,
+        /// The computation, in spec form.
+        computation: ComputationSpec,
+        /// Segmentation granularity for pricing.
+        granularity: Granularity,
+        /// The merged cross-node basis (Θ_expire union) to decide
+        /// against, in spec form.
+        basis: Vec<ResourceSpec>,
+        /// Expected per-shard state epochs (from a `cluster-snapshot`);
+        /// a mismatch aborts the prepare with a stale-epoch error.
+        epochs: Vec<u64>,
+        /// How long the tentative reservation may sit uncommitted
+        /// before it self-releases, in milliseconds.
+        ttl_ms: u64,
+    },
+    /// Phase two: make the named tentative reservation permanent.
+    CommitReservation {
+        /// The reservation's name.
+        name: String,
+    },
+    /// Release the named reservation (tentative or, for compensating
+    /// aborts after a partial commit, already committed).
+    AbortReservation {
+        /// The reservation's name.
+        name: String,
+    },
 }
 
 impl Request {
     /// Serializes the request as a single-line JSON document.
     pub fn to_json(&self) -> Json {
         match self {
+            Request::Hello { version, node } => {
+                let mut pairs = vec![("version".to_string(), Json::Num(*version as f64))];
+                if let Some(node) = node {
+                    pairs.push(("node".into(), Json::Str(node.clone())));
+                }
+                op_obj("hello", pairs)
+            }
             Request::Ping => op_obj("ping", vec![]),
             Request::Admit {
                 computation,
                 granularity,
+                forwarded,
             } => {
-                // Round-trip through the library type so the encoder
-                // stays the single source of the wire shape.
-                let lambda = computation.build();
-                let encoded = match lambda {
-                    Ok(lambda) => computation_to_json(&lambda),
-                    // An unbuildable spec still encodes structurally; the
-                    // server re-validates anyway.
-                    Err(_) => raw_computation_json(computation),
-                };
-                op_obj(
-                    "admit",
-                    vec![
-                        ("computation".into(), encoded),
-                        (
-                            "granularity".into(),
-                            Json::Str(granularity_name(*granularity).into()),
-                        ),
-                    ],
-                )
+                let mut pairs = vec![
+                    ("computation".to_string(), encode_computation(computation)),
+                    (
+                        "granularity".into(),
+                        Json::Str(granularity_name(*granularity).into()),
+                    ),
+                ];
+                if *forwarded {
+                    pairs.push(("forwarded".into(), Json::Bool(true)));
+                }
+                op_obj("admit", pairs)
             }
-            Request::Offer { resources } => {
+            Request::Offer {
+                resources,
+                forwarded,
+            } => {
                 let arr = resources.iter().map(raw_resource_json).collect();
-                op_obj("offer", vec![("resources".into(), Json::Arr(arr))])
+                let mut pairs = vec![("resources".to_string(), Json::Arr(arr))];
+                if *forwarded {
+                    pairs.push(("forwarded".into(), Json::Bool(true)));
+                }
+                op_obj("offer", pairs)
             }
             Request::Stats => op_obj("stats", vec![]),
             Request::Metrics => op_obj("metrics", vec![]),
             Request::Shutdown => op_obj("shutdown", vec![]),
+            Request::Gossip { digest } => {
+                op_obj("gossip", vec![("digest".into(), digest.to_json())])
+            }
+            Request::ClusterSnapshot => op_obj("cluster-snapshot", vec![]),
+            Request::Prepare {
+                name,
+                computation,
+                granularity,
+                basis,
+                epochs,
+                ttl_ms,
+            } => op_obj(
+                "prepare",
+                vec![
+                    ("name".into(), Json::Str(name.clone())),
+                    ("computation".into(), encode_computation(computation)),
+                    (
+                        "granularity".into(),
+                        Json::Str(granularity_name(*granularity).into()),
+                    ),
+                    (
+                        "basis".into(),
+                        Json::Arr(basis.iter().map(raw_resource_json).collect()),
+                    ),
+                    (
+                        "epochs".into(),
+                        Json::Arr(epochs.iter().map(|e| Json::Num(*e as f64)).collect()),
+                    ),
+                    ("ttl_ms".into(), Json::Num(*ttl_ms as f64)),
+                ],
+            ),
+            Request::CommitReservation { name } => op_obj(
+                "commit-reservation",
+                vec![("name".into(), Json::Str(name.clone()))],
+            ),
+            Request::AbortReservation { name } => op_obj(
+                "abort-reservation",
+                vec![("name".into(), Json::Str(name.clone()))],
+            ),
         }
     }
 
@@ -110,32 +332,31 @@ impl Request {
         let fields = Fields::of(doc, "request")?;
         let op = fields.str("op")?;
         match op.as_str() {
+            "hello" => {
+                fields.deny_unknown(&["op", "version", "node"])?;
+                Ok(Request::Hello {
+                    version: fields.u64("version")?,
+                    node: opt_str(&fields, "node")?,
+                })
+            }
             "ping" => {
                 fields.deny_unknown(&["op"])?;
                 Ok(Request::Ping)
             }
             "admit" => {
-                fields.deny_unknown(&["op", "computation", "granularity"])?;
+                fields.deny_unknown(&["op", "computation", "granularity", "forwarded"])?;
                 let computation = ComputationSpec::from_json(fields.required("computation")?)?;
-                let granularity = match fields.optional("granularity").map(|g| g.as_str()) {
-                    None => Granularity::MaximalRun,
-                    Some(Some("maximal-run")) => Granularity::MaximalRun,
-                    Some(Some("per-action")) => Granularity::PerAction,
-                    Some(other) => {
-                        return Err(SpecError::Parse(format!(
-                            "request: unknown granularity {other:?}"
-                        )))
-                    }
-                };
                 Ok(Request::Admit {
                     computation,
-                    granularity,
+                    granularity: decode_granularity(&fields)?,
+                    forwarded: decode_forwarded(&fields)?,
                 })
             }
             "offer" => {
-                fields.deny_unknown(&["op", "resources"])?;
+                fields.deny_unknown(&["op", "resources", "forwarded"])?;
                 Ok(Request::Offer {
                     resources: resources_from_json(fields.array("resources")?)?,
+                    forwarded: decode_forwarded(&fields)?,
                 })
             }
             "stats" => {
@@ -149,6 +370,53 @@ impl Request {
             "shutdown" => {
                 fields.deny_unknown(&["op"])?;
                 Ok(Request::Shutdown)
+            }
+            "gossip" => {
+                fields.deny_unknown(&["op", "digest"])?;
+                Ok(Request::Gossip {
+                    digest: GossipDigest::from_json(fields.required("digest")?)?,
+                })
+            }
+            "cluster-snapshot" => {
+                fields.deny_unknown(&["op"])?;
+                Ok(Request::ClusterSnapshot)
+            }
+            "prepare" => {
+                fields.deny_unknown(&[
+                    "op",
+                    "name",
+                    "computation",
+                    "granularity",
+                    "basis",
+                    "epochs",
+                    "ttl_ms",
+                ])?;
+                let mut epochs = Vec::new();
+                for epoch in fields.array("epochs")? {
+                    epochs.push(epoch.as_u64().ok_or_else(|| {
+                        SpecError::Parse("request: `epochs` must be unsigned integers".into())
+                    })?);
+                }
+                Ok(Request::Prepare {
+                    name: fields.str("name")?,
+                    computation: ComputationSpec::from_json(fields.required("computation")?)?,
+                    granularity: decode_granularity(&fields)?,
+                    basis: resources_from_json(fields.array("basis")?)?,
+                    epochs,
+                    ttl_ms: fields.u64("ttl_ms")?,
+                })
+            }
+            "commit-reservation" => {
+                fields.deny_unknown(&["op", "name"])?;
+                Ok(Request::CommitReservation {
+                    name: fields.str("name")?,
+                })
+            }
+            "abort-reservation" => {
+                fields.deny_unknown(&["op", "name"])?;
+                Ok(Request::AbortReservation {
+                    name: fields.str("name")?,
+                })
             }
             other => Err(SpecError::Parse(format!("request: unknown op `{other}`"))),
         }
@@ -168,8 +436,56 @@ impl Request {
 /// A server → client response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
+    /// Reply to `hello`: the versions agree.
+    Welcome {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u64,
+    },
     /// Reply to `ping`.
     Pong,
+    /// Reply to `gossip`: the receiver's own digest, so one exchange
+    /// synchronizes both directions.
+    GossipAck {
+        /// The receiver's digest.
+        digest: GossipDigest,
+    },
+    /// Reply to `cluster-snapshot`.
+    ClusterState {
+        /// Per-shard state epochs, in shard order. Any mutation
+        /// (admit-install, offer, prepare, abort, expiry) bumps the
+        /// owning shard's epoch, so a coordinator can detect that its
+        /// snapshot went stale before its prepare landed.
+        epochs: Vec<u64>,
+        /// The currently obtainable resources Θ_expire (supply minus
+        /// installed reservations), as a spec-form array document.
+        resources: Json,
+    },
+    /// Reply to `prepare`: the tentative reservation is installed.
+    Prepared {
+        /// The reservation's name.
+        name: String,
+    },
+    /// Reply to `commit-reservation`.
+    Committed {
+        /// The reservation's name.
+        name: String,
+    },
+    /// Reply to `abort-reservation`.
+    Aborted {
+        /// The reservation's name.
+        name: String,
+        /// Whether a reservation was actually released (false when the
+        /// name was unknown or had already expired).
+        released: bool,
+    },
+    /// The receiving node does not decide this request; retry against
+    /// `addr` (cluster routing in redirect mode).
+    Redirect {
+        /// Address of the owning node (`host:port`).
+        addr: String,
+        /// Why the redirect points there.
+        reason: String,
+    },
     /// An admission verdict.
     Decision {
         /// The computation's identifying name.
@@ -232,7 +548,44 @@ impl Response {
     /// Serializes the response as a single-line JSON document.
     pub fn to_json(&self) -> Json {
         match self {
+            Response::Welcome { version } => ok_obj(
+                "welcome",
+                vec![("version".into(), Json::Num(*version as f64))],
+            ),
             Response::Pong => ok_obj("pong", vec![]),
+            Response::GossipAck { digest } => {
+                ok_obj("gossip-ack", vec![("digest".into(), digest.to_json())])
+            }
+            Response::ClusterState { epochs, resources } => ok_obj(
+                "cluster-state",
+                vec![
+                    (
+                        "epochs".into(),
+                        Json::Arr(epochs.iter().map(|e| Json::Num(*e as f64)).collect()),
+                    ),
+                    ("resources".into(), resources.clone()),
+                ],
+            ),
+            Response::Prepared { name } => {
+                ok_obj("prepared", vec![("name".into(), Json::Str(name.clone()))])
+            }
+            Response::Committed { name } => {
+                ok_obj("committed", vec![("name".into(), Json::Str(name.clone()))])
+            }
+            Response::Aborted { name, released } => ok_obj(
+                "aborted",
+                vec![
+                    ("name".into(), Json::Str(name.clone())),
+                    ("released".into(), Json::Bool(*released)),
+                ],
+            ),
+            Response::Redirect { addr, reason } => ok_obj(
+                "redirect",
+                vec![
+                    ("addr".into(), Json::Str(addr.clone())),
+                    ("reason".into(), Json::Str(reason.clone())),
+                ],
+            ),
             Response::Decision {
                 computation,
                 accepted,
@@ -303,7 +656,42 @@ impl Response {
         let fields = Fields::of(doc, "response")?;
         let op = fields.str("op")?;
         match op.as_str() {
+            "welcome" => Ok(Response::Welcome {
+                version: fields.u64("version")?,
+            }),
             "pong" => Ok(Response::Pong),
+            "gossip-ack" => Ok(Response::GossipAck {
+                digest: GossipDigest::from_json(fields.required("digest")?)?,
+            }),
+            "cluster-state" => {
+                let mut epochs = Vec::new();
+                for epoch in fields.array("epochs")? {
+                    epochs.push(epoch.as_u64().ok_or_else(|| {
+                        SpecError::Parse("response: `epochs` must be unsigned integers".into())
+                    })?);
+                }
+                Ok(Response::ClusterState {
+                    epochs,
+                    resources: fields.required("resources")?.clone(),
+                })
+            }
+            "prepared" => Ok(Response::Prepared {
+                name: fields.str("name")?,
+            }),
+            "committed" => Ok(Response::Committed {
+                name: fields.str("name")?,
+            }),
+            "aborted" => Ok(Response::Aborted {
+                name: fields.str("name")?,
+                released: fields
+                    .required("released")?
+                    .as_bool()
+                    .ok_or_else(|| SpecError::Parse("response: `released` must be a bool".into()))?,
+            }),
+            "redirect" => Ok(Response::Redirect {
+                addr: fields.str("addr")?,
+                reason: fields.str("reason")?,
+            }),
             "decision" => Ok(Response::Decision {
                 computation: fields.str("computation")?,
                 accepted: fields
@@ -365,9 +753,51 @@ impl Response {
 fn opt_str(fields: &Fields<'_>, key: &str) -> Result<Option<String>, SpecError> {
     match fields.optional(key) {
         None | Some(Json::Null) => Ok(None),
-        Some(v) => v.as_str().map(|s| Some(s.to_string())).ok_or_else(|| {
-            SpecError::Parse(format!("response: `{key}` must be a string or null"))
-        }),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| SpecError::Parse(format!("`{key}` must be a string or null"))),
+    }
+}
+
+/// Round-trips a computation spec through the library type so the
+/// encoder stays the single source of the wire shape; an unbuildable
+/// spec still encodes structurally (the server re-validates anyway).
+fn encode_computation(computation: &ComputationSpec) -> Json {
+    match computation.build() {
+        Ok(lambda) => computation_to_json(&lambda),
+        Err(_) => raw_computation_json(computation),
+    }
+}
+
+fn decode_granularity(fields: &Fields<'_>) -> Result<Granularity, SpecError> {
+    match fields.optional("granularity").map(|g| g.as_str()) {
+        None => Ok(Granularity::MaximalRun),
+        Some(Some("maximal-run")) => Ok(Granularity::MaximalRun),
+        Some(Some("per-action")) => Ok(Granularity::PerAction),
+        Some(other) => Err(SpecError::Parse(format!(
+            "request: unknown granularity {other:?}"
+        ))),
+    }
+}
+
+fn decode_forwarded(fields: &Fields<'_>) -> Result<bool, SpecError> {
+    match fields.optional("forwarded") {
+        None | Some(Json::Null) => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| SpecError::Parse("request: `forwarded` must be a bool".into())),
+    }
+}
+
+/// The structured error a server answers when a `hello` names a
+/// different protocol version.
+pub fn version_mismatch(theirs: u64) -> Response {
+    Response::Error {
+        message: format!(
+            "version-mismatch: this server speaks protocol version {PROTOCOL_VERSION}, \
+             peer offered {theirs}"
+        ),
     }
 }
 
@@ -676,16 +1106,23 @@ mod tests {
         let request = Request::Admit {
             computation,
             granularity: Granularity::PerAction,
+            forwarded: false,
         };
         let line = request.to_json().to_string();
+        assert!(
+            !line.contains("forwarded"),
+            "unforwarded admits omit the flag: {line}"
+        );
         match Request::from_line(&line).unwrap() {
             Request::Admit {
                 computation,
                 granularity,
+                forwarded,
             } => {
                 assert_eq!(computation.name, "j");
                 assert_eq!(granularity, Granularity::PerAction);
                 assert_eq!(computation.actors[0].actions.len(), 2);
+                assert!(!forwarded);
             }
             other => panic!("wrong decode: {other:?}"),
         }
@@ -709,11 +1146,179 @@ mod tests {
                     end: 8,
                 },
             ],
+            forwarded: true,
         };
         let line = request.to_json().to_string();
         match Request::from_line(&line).unwrap() {
-            Request::Offer { resources } => assert_eq!(resources.len(), 2),
+            Request::Offer {
+                resources,
+                forwarded,
+            } => {
+                assert_eq!(resources.len(), 2);
+                assert!(forwarded);
+            }
             other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    fn sample_digest() -> GossipDigest {
+        GossipDigest {
+            from: "n0".into(),
+            seq: 17,
+            beats: vec![
+                PeerBeat {
+                    node: "n1".into(),
+                    seq: 9,
+                    addr: "127.0.0.1:7401".into(),
+                },
+                PeerBeat {
+                    node: "n2".into(),
+                    seq: 0,
+                    addr: "127.0.0.1:7402".into(),
+                },
+            ],
+            supply: vec![("l0".into(), 640), ("l3".into(), 128)],
+        }
+    }
+
+    #[test]
+    fn hello_round_trips_and_mismatch_is_structured() {
+        let request = Request::Hello {
+            version: PROTOCOL_VERSION,
+            node: Some("n1".into()),
+        };
+        let line = request.to_json().to_string();
+        match Request::from_line(&line).unwrap() {
+            Request::Hello { version, node } => {
+                assert_eq!(version, PROTOCOL_VERSION);
+                assert_eq!(node.as_deref(), Some("n1"));
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        // Anonymous hello omits the node field entirely.
+        let anon = Request::Hello {
+            version: 1,
+            node: None,
+        };
+        assert!(!anon.to_json().to_string().contains("node"));
+        // The mismatch error names both versions and survives the wire.
+        let error = version_mismatch(1);
+        let back = Response::from_line(&error.to_json().to_string()).unwrap();
+        match back {
+            Response::Error { message } => {
+                assert!(message.starts_with("version-mismatch"), "{message}");
+                assert!(message.contains(&PROTOCOL_VERSION.to_string()), "{message}");
+                assert!(message.contains('1'), "{message}");
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gossip_and_cluster_ops_round_trip() {
+        let digest = sample_digest();
+        let line = Request::Gossip {
+            digest: digest.clone(),
+        }
+        .to_json()
+        .to_string();
+        match Request::from_line(&line).unwrap() {
+            Request::Gossip { digest: back } => assert_eq!(back, digest),
+            other => panic!("wrong decode: {other:?}"),
+        }
+        let line = Request::ClusterSnapshot.to_json().to_string();
+        assert!(matches!(
+            Request::from_line(&line).unwrap(),
+            Request::ClusterSnapshot
+        ));
+        let line = Request::Prepare {
+            name: "job7".into(),
+            computation: crate::spec::ComputationSpec {
+                name: "job7".into(),
+                start: 0,
+                deadline: 10,
+                actors: vec![crate::spec::ActorSpec {
+                    name: "a".into(),
+                    origin: "l1".into(),
+                    actions: vec![crate::spec::ActionSpec::Evaluate { work: None }],
+                }],
+            },
+            granularity: Granularity::MaximalRun,
+            basis: vec![crate::spec::ResourceSpec::Cpu {
+                location: "l1".into(),
+                rate: 4,
+                start: 0,
+                end: 10,
+            }],
+            epochs: vec![3, 0],
+            ttl_ms: 750,
+        }
+        .to_json()
+        .to_string();
+        match Request::from_line(&line).unwrap() {
+            Request::Prepare {
+                name,
+                basis,
+                epochs,
+                ttl_ms,
+                ..
+            } => {
+                assert_eq!(name, "job7");
+                assert_eq!(basis.len(), 1);
+                assert_eq!(epochs, vec![3, 0]);
+                assert_eq!(ttl_ms, 750);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        for request in [
+            Request::CommitReservation { name: "job7".into() },
+            Request::AbortReservation { name: "job7".into() },
+        ] {
+            let line = request.to_json().to_string();
+            let back = Request::from_line(&line).unwrap();
+            assert_eq!(
+                std::mem::discriminant(&request),
+                std::mem::discriminant(&back)
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_responses_round_trip() {
+        let samples = vec![
+            Response::Welcome {
+                version: PROTOCOL_VERSION,
+            },
+            Response::GossipAck {
+                digest: sample_digest(),
+            },
+            Response::ClusterState {
+                epochs: vec![0, 4, 2],
+                resources: Json::Arr(vec![Json::Obj(vec![
+                    ("kind".into(), Json::Str("cpu".into())),
+                    ("location".into(), Json::Str("l0".into())),
+                    ("rate".into(), Json::Num(4.0)),
+                    ("start".into(), Json::Num(0.0)),
+                    ("end".into(), Json::Num(16.0)),
+                ])]),
+            },
+            Response::Prepared { name: "job".into() },
+            Response::Committed { name: "job".into() },
+            Response::Aborted {
+                name: "job".into(),
+                released: true,
+            },
+            Response::Redirect {
+                addr: "127.0.0.1:7402".into(),
+                reason: "location l3 is owned by node n2".into(),
+            },
+        ];
+        for response in samples {
+            let line = response.to_json().to_string();
+            assert!(!line.contains('\n'), "frames must be single lines: {line}");
+            assert!(response.is_ok(), "{line}");
+            let back = Response::from_line(&line).unwrap();
+            assert_eq!(response, back, "round-trip through {line}");
         }
     }
 }

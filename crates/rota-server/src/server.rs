@@ -9,8 +9,9 @@
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -22,8 +23,11 @@ use rota_obs::{DecisionEvent, Journal, Registry};
 use rota_resource::ResourceSet;
 
 use crate::fault::{ConnectionFaults, FaultInjector, FaultPlan, WireFault};
-use crate::protocol::{read_frame, write_frame, FrameError, Request, Response, MAX_FRAME_BYTES};
-use crate::shard::ShardPool;
+use crate::protocol::{
+    read_frame, version_mismatch, write_frame, FrameError, Request, Response, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+};
+use crate::shard::{ShardPool, DEDUP_CAPACITY};
 use crate::spec;
 
 /// Tuning knobs for [`Server::spawn`].
@@ -67,6 +71,54 @@ impl ServerConfig {
     }
 }
 
+/// Intercepts requests before the local admission core sees them — the
+/// extension point `rota-cluster` uses to route, gossip, and coordinate
+/// two-phase commits. Returning `None` falls through to local handling.
+///
+/// The hook runs on the connection thread inside a panic guard: a hook
+/// that panics kills only that connection, never the server.
+pub trait RequestHook: Send + Sync {
+    /// A response to short-circuit with, or `None` to handle locally.
+    fn intercept(&self, request: &Request) -> Option<Response>;
+}
+
+/// A hook's view of its own server: dispatch requests straight to the
+/// local admission core (the hook is *not* consulted again, so a hook
+/// can safely re-enter its own node) and draw deterministic 2PC chaos
+/// tickets.
+#[derive(Clone)]
+pub struct LocalHandle {
+    inner: Weak<Inner>,
+}
+
+impl LocalHandle {
+    /// Handles `request` with the local core; the hook is bypassed.
+    pub fn call(&self, request: Request) -> Response {
+        match self.inner.upgrade() {
+            Some(inner) => inner.handle_core(request),
+            None => Response::Error {
+                message: "server is draining".into(),
+            },
+        }
+    }
+
+    /// The server's metrics registry, so a hook can publish its own
+    /// gauges and counters into the same `metrics` snapshot. `None`
+    /// once the server is draining.
+    pub fn registry(&self) -> Option<Arc<rota_obs::Registry>> {
+        self.inner.upgrade().map(|inner| Arc::clone(&inner.registry))
+    }
+
+    /// Draws the deterministic mid-2PC panic ticket (chaos drills):
+    /// `true` means the caller should die between prepare and commit.
+    pub fn take_2pc_ticket(&self) -> bool {
+        self.inner
+            .upgrade()
+            .and_then(|inner| inner.faults.clone())
+            .is_some_and(|faults| faults.take_2pc_ticket())
+    }
+}
+
 struct Inner {
     pool: RwLock<Option<ShardPool>>,
     shutting_down: AtomicBool,
@@ -75,11 +127,38 @@ struct Inner {
     cost_model: TableCostModel,
     config: ServerConfig,
     faults: Option<Arc<FaultInjector>>,
+    /// Installed before the acceptor starts (see
+    /// [`Server::spawn_hooked`]), so connections never race a
+    /// half-initialized hook.
+    hook: RwLock<Option<Arc<dyn RequestHook>>>,
 }
 
 impl Inner {
     fn handle(&self, request: Request) -> Response {
+        let hook = self
+            .hook
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        if let Some(hook) = hook {
+            if let Some(response) = hook.intercept(&request) {
+                return response;
+            }
+        }
+        self.handle_core(request)
+    }
+
+    fn handle_core(&self, request: Request) -> Response {
         match request {
+            Request::Hello { version, node: _ } => {
+                if version == PROTOCOL_VERSION {
+                    Response::Welcome {
+                        version: PROTOCOL_VERSION,
+                    }
+                } else {
+                    version_mismatch(version)
+                }
+            }
             Request::Ping => Response::Pong,
             Request::Metrics => Response::Metrics {
                 snapshot: self.registry.snapshot().to_json(),
@@ -87,6 +166,7 @@ impl Inner {
             Request::Admit {
                 computation,
                 granularity,
+                forwarded: _,
             } => {
                 let computation = match computation.build() {
                     Ok(computation) => computation,
@@ -99,7 +179,10 @@ impl Inner {
                 let priced = AdmissionRequest::price(computation, &self.cost_model, granularity);
                 self.with_pool(|pool| pool.admit(priced, self.config.request_timeout))
             }
-            Request::Offer { resources } => match spec::resource_set(&resources) {
+            Request::Offer {
+                resources,
+                forwarded: _,
+            } => match spec::resource_set(&resources) {
                 Ok(theta) => {
                     self.with_pool(move |pool| pool.offer(theta, self.config.request_timeout))
                 }
@@ -109,6 +192,73 @@ impl Inner {
             },
             Request::Stats => self.with_pool(|pool| pool.stats(self.config.request_timeout)),
             Request::Shutdown => Response::Bye,
+            // Gossip is meaningful only when a cluster hook intercepts
+            // it; a bare server says so instead of guessing.
+            Request::Gossip { .. } => Response::Error {
+                message: "not clustered: this node runs no cluster router".into(),
+            },
+            Request::ClusterSnapshot => self.with_pool(|pool| {
+                match pool.cluster_state(self.config.request_timeout) {
+                    Ok((epochs, merged)) => Response::ClusterState {
+                        epochs,
+                        resources: spec::resource_set_to_json(&merged),
+                    },
+                    Err(message) => Response::Error { message },
+                }
+            }),
+            Request::Prepare {
+                name,
+                computation,
+                granularity,
+                basis,
+                epochs,
+                ttl_ms,
+            } => {
+                let computation = match computation.build() {
+                    Ok(computation) => computation,
+                    Err(err) => {
+                        return Response::Error {
+                            message: format!("bad computation: {err}"),
+                        }
+                    }
+                };
+                if computation.name() != name {
+                    return Response::Error {
+                        message: format!(
+                            "prepare name `{name}` does not match computation name `{}`",
+                            computation.name()
+                        ),
+                    };
+                }
+                let basis = match spec::resource_set(&basis) {
+                    Ok(basis) => basis,
+                    Err(err) => {
+                        return Response::Error {
+                            message: format!("bad basis: {err}"),
+                        }
+                    }
+                };
+                let priced = AdmissionRequest::price(computation, &self.cost_model, granularity);
+                self.with_pool(|pool| {
+                    pool.prepare(
+                        priced,
+                        &basis,
+                        &epochs,
+                        Duration::from_millis(ttl_ms),
+                        self.config.request_timeout,
+                    )
+                })
+            }
+            Request::CommitReservation { name } => self.with_pool(|pool| {
+                match pool.commit(&name, self.config.request_timeout) {
+                    Ok(()) => Response::Committed { name },
+                    Err(message) => Response::Error { message },
+                }
+            }),
+            Request::AbortReservation { name } => self.with_pool(|pool| {
+                let released = pool.abort(&name, self.config.request_timeout);
+                Response::Aborted { name, released }
+            }),
         }
     }
 
@@ -219,6 +369,42 @@ impl Server {
     where
         P: AdmissionPolicy + Clone + Send + 'static,
     {
+        Self::spawn_internal(
+            config,
+            policy,
+            theta,
+            None::<fn(LocalHandle) -> Arc<dyn RequestHook>>,
+        )
+    }
+
+    /// Like [`Server::spawn`], but installs the [`RequestHook`] built by
+    /// `make_hook` before the acceptor starts. The hook receives a
+    /// [`LocalHandle`] back onto this server, so it can route requests
+    /// to the local core as well as to peers — this is how a
+    /// `rota-cluster` node mounts its router.
+    pub fn spawn_hooked<P, F>(
+        config: ServerConfig,
+        policy: P,
+        theta: &ResourceSet,
+        make_hook: F,
+    ) -> std::io::Result<ServerHandle>
+    where
+        P: AdmissionPolicy + Clone + Send + 'static,
+        F: FnOnce(LocalHandle) -> Arc<dyn RequestHook>,
+    {
+        Self::spawn_internal(config, policy, theta, Some(make_hook))
+    }
+
+    fn spawn_internal<P, F>(
+        config: ServerConfig,
+        policy: P,
+        theta: &ResourceSet,
+        make_hook: Option<F>,
+    ) -> std::io::Result<ServerHandle>
+    where
+        P: AdmissionPolicy + Clone + Send + 'static,
+        F: FnOnce(LocalHandle) -> Arc<dyn RequestHook>,
+    {
         let listener = TcpListener::bind(config.addr)?;
         let local_addr = listener.local_addr()?;
         let registry = Arc::new(Registry::new());
@@ -233,6 +419,7 @@ impl Server {
             theta,
             config.shards,
             config.queue_capacity,
+            DEDUP_CAPACITY,
             &registry,
             &journal,
             faults.clone(),
@@ -245,7 +432,17 @@ impl Server {
             cost_model: TableCostModel::paper(),
             config,
             faults,
+            hook: RwLock::new(None),
         });
+        if let Some(make_hook) = make_hook {
+            let hook = make_hook(LocalHandle {
+                inner: Arc::downgrade(&inner),
+            });
+            *inner
+                .hook
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(hook);
+        }
         let acceptor_inner = Arc::clone(&inner);
         let acceptor = std::thread::Builder::new()
             .name("rota-acceptor".into())
@@ -362,7 +559,18 @@ fn serve_connection(stream: TcpStream, inner: &Arc<Inner>) {
         let (response, bye) = match Request::from_line(&line) {
             Ok(request) => {
                 let bye = matches!(request, Request::Shutdown);
-                (inner.handle(request), bye)
+                // A panic while handling (a chaos-drilled 2PC
+                // coordinator dying mid-flight, or a hook bug) kills
+                // only this connection; shard workers and the acceptor
+                // keep running, and any tentative reservations the dead
+                // coordinator left behind expire by TTL.
+                match catch_unwind(AssertUnwindSafe(|| inner.handle(request))) {
+                    Ok(response) => (response, bye),
+                    Err(_) => {
+                        shutdown_stream(&mut writer);
+                        return;
+                    }
+                }
             }
             Err(err) => {
                 malformed.inc();

@@ -59,11 +59,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use rota_actor::ActorName;
 use rota_admission::{
     AdmissionController, AdmissionObs, AdmissionPolicy, AdmissionRequest, ControllerStats, Decision,
 };
 use rota_analyze::{prevalidate, Report as LintReport, Severity as LintSeverity, SpecModel};
 use rota_interval::TimePoint;
+use rota_logic::State;
 use rota_obs::{Counter, DecisionEvent, Gauge, Histogram, Journal, Registry};
 use rota_resource::{Location, ResourceSet};
 
@@ -125,6 +127,36 @@ pub(crate) enum ShardMsg {
     Stats {
         reply: SyncSender<ControllerStats>,
     },
+    /// Reports the shard's epoch and the resources still available
+    /// after every commitment and tentative reservation — the basis a
+    /// 2PC coordinator merges across shards and nodes.
+    Snapshot {
+        reply: SyncSender<(u64, ResourceSet)>,
+    },
+    /// Phase one of two-phase commit: decide `request` against the
+    /// coordinator-supplied merged `basis` and, on accept, install the
+    /// commitments tentatively with a TTL. Replies `Prepared`, a
+    /// rejection `Decision`, or an error (stale epoch / uninstallable).
+    Prepare {
+        request: Box<AdmissionRequest>,
+        basis: ResourceSet,
+        expected_epoch: u64,
+        ttl: Duration,
+        reply: SyncSender<Response>,
+    },
+    /// Phase two: make the named reservation permanent. Idempotent for
+    /// already-committed names; an expired or unknown name is an error.
+    Commit {
+        name: String,
+        reply: SyncSender<Result<(), String>>,
+    },
+    /// Release the named reservation (or compensate a committed one
+    /// after a failed commit round). Replies whether anything was
+    /// actually released.
+    Abort {
+        name: String,
+        reply: SyncSender<bool>,
+    },
 }
 
 struct ShardObs {
@@ -135,6 +167,11 @@ struct ShardObs {
     restarts: Arc<Counter>,
     dedup_hits: Arc<Counter>,
     lint_rejects: Arc<Counter>,
+    reservations: Arc<Gauge>,
+    twopc_prepared: Arc<Counter>,
+    twopc_committed: Arc<Counter>,
+    twopc_aborted: Arc<Counter>,
+    twopc_expired: Arc<Counter>,
 }
 
 impl ShardObs {
@@ -150,6 +187,12 @@ impl ShardObs {
             restarts: registry.counter(&format!("server.shard.restarts{{shard={shard}}}")),
             dedup_hits: registry.counter(&format!("server.shard.dedup_hits{{shard={shard}}}")),
             lint_rejects: registry.counter(&format!("server.shard.lint_rejects{{shard={shard}}}")),
+            reservations: registry.gauge(&format!("server.shard.reservations{{shard={shard}}}")),
+            twopc_prepared: registry.counter(&format!("server.twopc.prepared{{shard={shard}}}")),
+            twopc_committed: registry
+                .counter(&format!("server.twopc.committed{{shard={shard}}}")),
+            twopc_aborted: registry.counter(&format!("server.twopc.aborted{{shard={shard}}}")),
+            twopc_expired: registry.counter(&format!("server.twopc.expired{{shard={shard}}}")),
         }
     }
 }
@@ -169,23 +212,35 @@ fn dedup_key(request: &AdmissionRequest) -> u64 {
 }
 
 /// What the cache knows about a retried name.
-enum CacheLookup<'a> {
+enum CacheLookup {
     /// Never seen: decide it.
     Miss,
     /// Same name, same content: replay the verdict.
-    Replay(&'a Response),
+    Replay(Response),
     /// Same name, different content: refuse — the name was already
     /// decided for a different computation.
     Conflict,
 }
 
-/// Bounded FIFO cache of recent verdicts, keyed by computation name
-/// with the request's content hash ([`dedup_key`]) stored alongside —
-/// the idempotency layer that keeps client retries and hedges from
+/// Bounded LRU cache of recent verdicts, keyed by computation name with
+/// the request's content hash ([`dedup_key`]) stored alongside — the
+/// idempotency layer that keeps client retries and hedges from
 /// double-committing, without ever replaying a verdict for a body it
 /// was not decided on.
+///
+/// Eviction is least-recently-*used*: a replay refreshes its entry, so
+/// a name being actively retried stays cached while cold verdicts age
+/// out. A [`CacheLookup::Conflict`] deliberately does **not** refresh —
+/// a stream of conflicting submissions must not keep the stale name
+/// pinned forever. Eviction is safe against double commits even when an
+/// evicted accept is resubmitted verbatim: the controller still holds
+/// the actor names, so the re-decided request fails the install and is
+/// rejected (see `AdmissionController::submit`) rather than committed a
+/// second time.
 struct DecisionCache {
     capacity: usize,
+    /// Recency order, oldest at the front. Names are moved to the back
+    /// on use; the front is the eviction victim.
     order: VecDeque<String>,
     verdicts: HashMap<String, (u64, Response)>,
 }
@@ -199,10 +254,21 @@ impl DecisionCache {
         }
     }
 
-    fn lookup(&self, name: &str, hash: u64) -> CacheLookup<'_> {
+    /// Moves `name` to the most-recently-used position.
+    fn touch(&mut self, name: &str) {
+        if let Some(pos) = self.order.iter().position(|n| n == name) {
+            if let Some(entry) = self.order.remove(pos) {
+                self.order.push_back(entry);
+            }
+        }
+    }
+
+    fn lookup(&mut self, name: &str, hash: u64) -> CacheLookup {
         match self.verdicts.get(name) {
             None => CacheLookup::Miss,
             Some((cached_hash, response)) if *cached_hash == hash => {
+                let response = response.clone();
+                self.touch(name);
                 CacheLookup::Replay(response)
             }
             Some(_) => CacheLookup::Conflict,
@@ -213,15 +279,23 @@ impl DecisionCache {
         if self
             .verdicts
             .insert(name.clone(), (hash, response))
-            .is_none()
+            .is_some()
         {
-            self.order.push_back(name);
-            if self.order.len() > self.capacity {
-                if let Some(evicted) = self.order.pop_front() {
-                    self.verdicts.remove(&evicted);
-                }
+            self.touch(&name);
+            return;
+        }
+        self.order.push_back(name);
+        if self.order.len() > self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.verdicts.remove(&evicted);
             }
         }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        debug_assert_eq!(self.order.len(), self.verdicts.len());
+        self.verdicts.len()
     }
 }
 
@@ -239,12 +313,15 @@ impl ShardPool {
     /// Spawns `shards` workers, each owning a controller over its slice
     /// of `theta`, all journaling into `journal` and counting into
     /// `registry` (admission metrics labeled by `policy`, server metrics
-    /// by shard). `faults` enables forced-panic chaos drills.
+    /// by shard). `faults` enables forced-panic chaos drills;
+    /// `dedup_capacity` bounds each worker's idempotency cache.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn spawn<P>(
         policy: P,
         theta: &ResourceSet,
         shards: usize,
         queue_capacity: usize,
+        dedup_capacity: usize,
         registry: &Arc<Registry>,
         journal: &Arc<Journal<DecisionEvent>>,
         faults: Option<Arc<FaultInjector>>,
@@ -268,7 +345,11 @@ impl ShardPool {
                 journal: Arc::clone(journal),
                 obs: Arc::clone(&shard_obs),
                 faults: faults.clone(),
-                dedup: DecisionCache::new(DEDUP_CAPACITY),
+                dedup: DecisionCache::new(dedup_capacity),
+                reservations: HashMap::new(),
+                committed: HashMap::new(),
+                committed_order: VecDeque::new(),
+                epoch: 0,
             };
             handles.push(
                 std::thread::Builder::new()
@@ -401,6 +482,168 @@ impl ShardPool {
             shards: self.shards(),
         }
     }
+
+    /// Collects every shard's epoch and remaining supply and merges the
+    /// (disjoint) supplies into one resource set — the node's
+    /// contribution to a 2PC coordinator's basis.
+    pub(crate) fn cluster_state(
+        &self,
+        timeout: Duration,
+    ) -> Result<(Vec<u64>, ResourceSet), String> {
+        let mut receivers = Vec::with_capacity(self.shards());
+        for (shard, tx) in self.senders.iter().enumerate() {
+            let (reply_tx, reply_rx) = sync_channel::<(u64, ResourceSet)>(1);
+            if tx
+                .send_timeout_compat(ShardMsg::Snapshot { reply: reply_tx }, timeout)
+                .is_err()
+            {
+                return Err(format!("shard {shard} unavailable"));
+            }
+            self.obs[shard].queue_depth.add(1);
+            receivers.push(reply_rx);
+        }
+        let mut epochs = Vec::with_capacity(self.shards());
+        let mut merged = ResourceSet::new();
+        for (shard, rx) in receivers.into_iter().enumerate() {
+            let (epoch, theta) = rx
+                .recv_timeout(timeout)
+                .map_err(|_| format!("snapshot from shard {shard} timed out"))?;
+            epochs.push(epoch);
+            merged = merged
+                .union(&theta)
+                .map_err(|e| format!("merging shard {shard} snapshot: {e}"))?;
+        }
+        Ok((epochs, merged))
+    }
+
+    /// Broadcasts a 2PC prepare to every shard. All shards must answer
+    /// `Prepared` for the prepare to stand; on any rejection, error, or
+    /// timeout the partial reservations are aborted and the first
+    /// non-prepared response is returned. Each shard installs the full
+    /// commitment set — terms at locations a shard does not own are
+    /// no-ops in its availability, so the union over shards subtracts
+    /// each term exactly once.
+    pub(crate) fn prepare(
+        &self,
+        request: AdmissionRequest,
+        basis: &ResourceSet,
+        epochs: &[u64],
+        ttl: Duration,
+        timeout: Duration,
+    ) -> Response {
+        if epochs.len() != self.shards() {
+            return Response::Error {
+                message: format!(
+                    "epoch vector has {} entries but the node runs {} shard(s)",
+                    epochs.len(),
+                    self.shards()
+                ),
+            };
+        }
+        let name = request.name().to_string();
+        let mut receivers = Vec::with_capacity(self.shards());
+        for (shard, tx) in self.senders.iter().enumerate() {
+            let (reply_tx, reply_rx) = sync_channel::<Response>(1);
+            let msg = ShardMsg::Prepare {
+                request: Box::new(request.clone()),
+                basis: basis.clone(),
+                expected_epoch: epochs[shard],
+                ttl,
+                reply: reply_tx,
+            };
+            if tx.send_timeout_compat(msg, timeout).is_err() {
+                self.abort(&name, timeout);
+                return Response::Error {
+                    message: format!("shard {shard} unavailable"),
+                };
+            }
+            self.obs[shard].queue_depth.add(1);
+            receivers.push(reply_rx);
+        }
+        let mut failure: Option<Response> = None;
+        for (shard, rx) in receivers.into_iter().enumerate() {
+            match rx.recv_timeout(timeout) {
+                Ok(Response::Prepared { .. }) => {}
+                Ok(other) => {
+                    failure.get_or_insert(other);
+                }
+                Err(_) => {
+                    failure.get_or_insert(Response::Error {
+                        message: format!("prepare on shard {shard} timed out"),
+                    });
+                }
+            }
+        }
+        match failure {
+            None => Response::Prepared { name },
+            Some(response) => {
+                self.abort(&name, timeout);
+                response
+            }
+        }
+    }
+
+    /// Broadcasts a 2PC commit. If any shard cannot commit (its
+    /// reservation expired, or it timed out), already-committed shards
+    /// are compensated with an abort and the error is returned.
+    pub(crate) fn commit(&self, name: &str, timeout: Duration) -> Result<(), String> {
+        let mut receivers = Vec::with_capacity(self.shards());
+        for (shard, tx) in self.senders.iter().enumerate() {
+            let (reply_tx, reply_rx) = sync_channel::<Result<(), String>>(1);
+            let msg = ShardMsg::Commit {
+                name: name.to_string(),
+                reply: reply_tx,
+            };
+            if tx.send_timeout_compat(msg, timeout).is_err() {
+                self.abort(name, timeout);
+                return Err(format!("shard {shard} unavailable"));
+            }
+            self.obs[shard].queue_depth.add(1);
+            receivers.push(reply_rx);
+        }
+        let mut failure: Option<String> = None;
+        for (shard, rx) in receivers.into_iter().enumerate() {
+            match rx.recv_timeout(timeout) {
+                Ok(Ok(())) => {}
+                Ok(Err(err)) => {
+                    failure.get_or_insert(format!("shard {shard}: {err}"));
+                }
+                Err(_) => {
+                    failure.get_or_insert(format!("commit on shard {shard} timed out"));
+                }
+            }
+        }
+        match failure {
+            None => Ok(()),
+            Some(err) => {
+                self.abort(name, timeout);
+                Err(err)
+            }
+        }
+    }
+
+    /// Broadcasts a 2PC abort; returns whether any shard actually
+    /// released a reservation (tentative or, compensating, committed).
+    pub(crate) fn abort(&self, name: &str, timeout: Duration) -> bool {
+        let mut receivers = Vec::with_capacity(self.shards());
+        for (shard, tx) in self.senders.iter().enumerate() {
+            let (reply_tx, reply_rx) = sync_channel::<bool>(1);
+            let msg = ShardMsg::Abort {
+                name: name.to_string(),
+                reply: reply_tx,
+            };
+            if tx.send_timeout_compat(msg, timeout).is_err() {
+                continue;
+            }
+            self.obs[shard].queue_depth.add(1);
+            receivers.push(reply_rx);
+        }
+        let mut released = false;
+        for rx in receivers {
+            released |= rx.recv_timeout(timeout).unwrap_or(false);
+        }
+        released
+    }
 }
 
 /// `SyncSender::send` with a deadline, built from `try_send` + park —
@@ -429,9 +672,23 @@ impl<T> SendTimeoutCompat<T> for SyncSender<T> {
 }
 
 /// Verdicts remembered per shard for retry/hedge idempotency. Bounded
-/// so a long-lived server cannot grow without limit; FIFO eviction is
-/// enough because retries arrive close behind the original.
-const DEDUP_CAPACITY: usize = 1024;
+/// so a long-lived server cannot grow without limit; LRU eviction keeps
+/// actively-retried names cached while cold verdicts age out.
+pub(crate) const DEDUP_CAPACITY: usize = 1024;
+
+/// Committed 2PC names remembered per shard so commits are idempotent
+/// and a failed commit round can be compensated. Bounded like the
+/// dedup cache; an entry aging out only forfeits late
+/// re-commit/compensation for that name, never the installed
+/// commitment itself.
+const COMMITTED_CAPACITY: usize = 1024;
+
+/// A tentatively-installed 2PC commitment: the actor names to withdraw
+/// on abort or expiry, and the wall-clock instant the hold lapses.
+struct Reservation {
+    actors: Vec<ActorName>,
+    expires_at: Instant,
+}
 
 /// Everything a shard worker needs to serve — and to *rebuild* its
 /// controller after an unrecognized panic.
@@ -445,6 +702,18 @@ struct ShardWorker<P> {
     obs: Arc<ShardObs>,
     faults: Option<Arc<FaultInjector>>,
     dedup: DecisionCache,
+    /// Prepared-but-uncommitted 2PC holds, keyed by computation name.
+    reservations: HashMap<String, Reservation>,
+    /// Committed 2PC names → their actors, for idempotent re-commits
+    /// and compensating aborts. Bounded by `committed_order`.
+    committed: HashMap<String, Vec<ActorName>>,
+    committed_order: VecDeque<String>,
+    /// Bumped on every state mutation (accepted admit, offer, prepare,
+    /// abort, expiry) — never on rejects or reads. A 2PC coordinator
+    /// snapshots the epoch with the supply and sends it back with the
+    /// prepare; a mismatch means the basis is stale and the prepare is
+    /// refused rather than decided on outdated supply.
+    epoch: u64,
 }
 
 impl<P: AdmissionPolicy + Clone> ShardWorker<P> {
@@ -476,10 +745,54 @@ impl<P: AdmissionPolicy + Clone> ShardWorker<P> {
                     // a real bug mid-decision: the controller may be
                     // inconsistent, so rebuild from the pristine slice.
                     // The dedup cache survives either way — already-
-                    // delivered verdicts stay authoritative.
+                    // delivered verdicts stay authoritative. Tentative
+                    // reservations reference controller in-flight
+                    // entries, so the amnesiac rebuild forgets them
+                    // with the rest of the state.
                     if !fault::is_injected_panic(payload.as_ref()) {
                         controller = self.fresh_controller();
+                        self.reservations.clear();
+                        self.committed.clear();
+                        self.committed_order.clear();
+                        self.obs.reservations.set(0);
                     }
+                }
+            }
+        }
+    }
+
+    /// Withdraws every reservation whose TTL has lapsed — run lazily at
+    /// the head of every message, so expiry needs no timer thread and
+    /// is observable through any subsequent request (stats included).
+    fn sweep_expired(&mut self, controller: &mut AdmissionController<P>) {
+        if self.reservations.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let lapsed: Vec<String> = self
+            .reservations
+            .iter()
+            .filter(|(_, r)| r.expires_at <= now)
+            .map(|(name, _)| name.clone())
+            .collect();
+        for name in lapsed {
+            if let Some(reservation) = self.reservations.remove(&name) {
+                controller.withdraw(&reservation.actors);
+                self.epoch += 1;
+                self.obs.twopc_expired.inc();
+            }
+        }
+        self.obs.reservations.set(self.reservations.len() as i64);
+    }
+
+    /// Records a committed name (bounded), for idempotent re-commits
+    /// and compensating aborts.
+    fn record_committed(&mut self, name: String, actors: Vec<ActorName>) {
+        if self.committed.insert(name.clone(), actors).is_none() {
+            self.committed_order.push_back(name);
+            if self.committed_order.len() > COMMITTED_CAPACITY {
+                if let Some(old) = self.committed_order.pop_front() {
+                    self.committed.remove(&old);
                 }
             }
         }
@@ -488,6 +801,7 @@ impl<P: AdmissionPolicy + Clone> ShardWorker<P> {
     fn serve(&mut self, controller: &mut AdmissionController<P>, rx: &Receiver<ShardMsg>) {
         while let Ok(msg) = rx.recv() {
             self.obs.queue_depth.add(-1);
+            self.sweep_expired(controller);
             match msg {
                 ShardMsg::Admit {
                     request,
@@ -541,6 +855,9 @@ impl<P: AdmissionPolicy + Clone> ShardWorker<P> {
                         continue;
                     }
                     let decision = controller.submit(&request);
+                    if matches!(decision, Decision::Accept(_)) {
+                        self.epoch += 1;
+                    }
                     self.obs.request_ns.observe(
                         u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX),
                     );
@@ -555,10 +872,129 @@ impl<P: AdmissionPolicy + Clone> ShardWorker<P> {
                         .offer_resources(theta)
                         .map(|()| 0)
                         .map_err(|e| e.to_string());
+                    if result.is_ok() {
+                        self.epoch += 1;
+                    }
                     let _ = reply.try_send(result);
                 }
                 ShardMsg::Stats { reply } => {
                     let _ = reply.try_send(controller.stats());
+                }
+                ShardMsg::Snapshot { reply } => {
+                    let _ =
+                        reply.try_send((self.epoch, controller.state().expiring_resources()));
+                }
+                ShardMsg::Prepare {
+                    request,
+                    basis,
+                    expected_epoch,
+                    ttl,
+                    reply,
+                } => {
+                    let name = request.name().to_string();
+                    // Idempotent re-prepare: a coordinator retrying
+                    // after a lost reply refreshes the hold instead of
+                    // double-installing. Content is not re-verified —
+                    // names are the 2PC identity, as in the dedup cache.
+                    if let Some(reservation) = self.reservations.get_mut(&name) {
+                        reservation.expires_at = Instant::now() + ttl;
+                        let _ = reply.try_send(Response::Prepared { name });
+                        continue;
+                    }
+                    if self.committed.contains_key(&name) {
+                        let _ = reply.try_send(Response::Prepared { name });
+                        continue;
+                    }
+                    if expected_epoch != self.epoch {
+                        let _ = reply.try_send(Response::Error {
+                            message: format!(
+                                "stale-epoch: shard {} is at epoch {}, prepare expected \
+                                 {expected_epoch}; re-snapshot and retry",
+                                self.shard, self.epoch
+                            ),
+                        });
+                        continue;
+                    }
+                    // Decide against the coordinator's merged basis:
+                    // the same deterministic verdict every owner
+                    // reaches, and exactly the verdict a single merged
+                    // node would have issued.
+                    let decision = self
+                        .policy
+                        .decide(&State::new(basis, TimePoint::ZERO), &request);
+                    match decision {
+                        Decision::Reject(_) => {
+                            let _ = reply
+                                .try_send(decision_response(&request, &decision, self.shard));
+                        }
+                        Decision::Accept(commitments) => {
+                            let actors: Vec<ActorName> =
+                                commitments.iter().map(|c| c.actor().clone()).collect();
+                            match controller.install(commitments, request.deadline()) {
+                                Ok(()) => {
+                                    self.reservations.insert(
+                                        name.clone(),
+                                        Reservation {
+                                            actors,
+                                            expires_at: Instant::now() + ttl,
+                                        },
+                                    );
+                                    self.epoch += 1;
+                                    self.obs.twopc_prepared.inc();
+                                    self.obs
+                                        .reservations
+                                        .set(self.reservations.len() as i64);
+                                    let _ = reply.try_send(Response::Prepared { name });
+                                }
+                                Err(err) => {
+                                    let _ = reply.try_send(Response::Error {
+                                        message: format!(
+                                            "shard {}: prepared commitments not installable: \
+                                             {err}",
+                                            self.shard
+                                        ),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                ShardMsg::Commit { name, reply } => {
+                    let result = if let Some(reservation) = self.reservations.remove(&name) {
+                        self.record_committed(name, reservation.actors);
+                        self.obs.twopc_committed.inc();
+                        self.obs.reservations.set(self.reservations.len() as i64);
+                        Ok(())
+                    } else if self.committed.contains_key(&name) {
+                        Ok(())
+                    } else {
+                        Err(format!(
+                            "no reservation named `{name}` (expired or never prepared)"
+                        ))
+                    };
+                    let _ = reply.try_send(result);
+                }
+                ShardMsg::Abort { name, reply } => {
+                    let released = if let Some(reservation) = self.reservations.remove(&name) {
+                        controller.withdraw(&reservation.actors);
+                        self.epoch += 1;
+                        self.obs.twopc_aborted.inc();
+                        self.obs.reservations.set(self.reservations.len() as i64);
+                        true
+                    } else if let Some(actors) = self.committed.remove(&name) {
+                        // Compensating abort: some other shard or node
+                        // failed its commit, so this already-committed
+                        // hold is rolled back to keep the cluster
+                        // atomic.
+                        self.committed_order.retain(|n| n != &name);
+                        controller.withdraw(&actors);
+                        self.epoch += 1;
+                        self.obs.twopc_aborted.inc();
+                        true
+                    } else {
+                        false
+                    };
+                    let _ = reply.try_send(released);
                 }
             }
         }
@@ -674,7 +1110,7 @@ mod tests {
         let journal = Arc::new(Journal::new(64));
         let theta = theta_at(&["l0", "l1"], 4, 16);
         let (pool, handles) =
-            ShardPool::spawn(RotaPolicy, &theta, 2, 8, &registry, &journal, None);
+            ShardPool::spawn(RotaPolicy, &theta, 2, 8, DEDUP_CAPACITY, &registry, &journal, None);
         let timeout = Duration::from_secs(5);
         // Feasible job at l0, infeasible (too much work) job at l1.
         let yes = pool.admit(request_at("yes", "l0", 1, 16), timeout);
@@ -710,6 +1146,7 @@ mod tests {
             &ResourceSet::new(),
             2,
             4,
+            DEDUP_CAPACITY,
             &registry,
             &journal,
             None,
@@ -736,7 +1173,7 @@ mod tests {
         let journal = Arc::new(Journal::new(64));
         let theta = theta_at(&["l0"], 4, 16);
         let (pool, handles) =
-            ShardPool::spawn(RotaPolicy, &theta, 1, 8, &registry, &journal, None);
+            ShardPool::spawn(RotaPolicy, &theta, 1, 8, DEDUP_CAPACITY, &registry, &journal, None);
         let timeout = Duration::from_secs(5);
         let first = pool.admit(request_at("same", "l0", 1, 16), timeout);
         let again = pool.admit(request_at("same", "l0", 1, 16), timeout);
@@ -766,7 +1203,7 @@ mod tests {
         let journal = Arc::new(Journal::new(64));
         let theta = theta_at(&["l0"], 4, 16);
         let (pool, handles) =
-            ShardPool::spawn(RotaPolicy, &theta, 1, 8, &registry, &journal, None);
+            ShardPool::spawn(RotaPolicy, &theta, 1, 8, DEDUP_CAPACITY, &registry, &journal, None);
         let timeout = Duration::from_secs(5);
         let first = pool.admit(request_at("same", "l0", 1, 16), timeout);
         assert!(matches!(first, Response::Decision { accepted: true, .. }), "{first:?}");
@@ -804,7 +1241,7 @@ mod tests {
         let journal = Arc::new(Journal::new(64));
         let theta = theta_at(&["l0"], 4, 16);
         let (pool, handles) =
-            ShardPool::spawn(RotaPolicy, &theta, 1, 8, &registry, &journal, None);
+            ShardPool::spawn(RotaPolicy, &theta, 1, 8, DEDUP_CAPACITY, &registry, &journal, None);
         let timeout = Duration::from_secs(5);
         // Demand at a location with no declared supply: R0006, decided
         // by the analyzer, never by the policy.
@@ -856,7 +1293,7 @@ mod tests {
             &registry,
         ));
         let (pool, handles) =
-            ShardPool::spawn(RotaPolicy, &theta, 1, 8, &registry, &journal, Some(faults));
+            ShardPool::spawn(RotaPolicy, &theta, 1, 8, DEDUP_CAPACITY, &registry, &journal, Some(faults));
         let timeout = Duration::from_secs(5);
         // First admit fills the shard's slice partially and succeeds.
         let first = pool.admit(request_at("p1", "l0", 1, 16), timeout);
@@ -874,6 +1311,195 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counter("server.shard.restarts{shard=0}"), Some(1));
         assert_eq!(snap.counter("server.faults.panic"), Some(1));
+        drop(pool);
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn decision_cache_evicts_lru_and_use_refreshes() {
+        let resp = |shard: usize| Response::Overloaded { shard };
+        let mut cache = DecisionCache::new(2);
+        cache.insert("a".into(), 1, resp(1));
+        cache.insert("b".into(), 2, resp(2));
+        // A replay moves `a` to most-recently-used, so the next insert
+        // evicts `b` instead.
+        assert!(matches!(cache.lookup("a", 1), CacheLookup::Replay(_)));
+        cache.insert("c".into(), 3, resp(3));
+        assert!(matches!(cache.lookup("b", 2), CacheLookup::Miss));
+        assert!(matches!(cache.lookup("a", 1), CacheLookup::Replay(_)));
+        assert_eq!(cache.len(), 2);
+        // Re-inserting an existing name refreshes it too: the later
+        // insert of `d` evicts `c`, not the re-inserted `a`.
+        cache.insert("a".into(), 9, resp(9));
+        cache.insert("d".into(), 4, resp(4));
+        assert!(matches!(cache.lookup("c", 3), CacheLookup::Miss));
+        assert!(matches!(cache.lookup("a", 9), CacheLookup::Replay(_)));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn decision_cache_conflict_does_not_refresh() {
+        let resp = |shard: usize| Response::Overloaded { shard };
+        let mut cache = DecisionCache::new(2);
+        cache.insert("a".into(), 1, resp(1));
+        cache.insert("b".into(), 2, resp(2));
+        // A conflicting submission must not keep the stale name pinned:
+        // `a` stays least-recently-used and is the next eviction victim.
+        assert!(matches!(cache.lookup("a", 99), CacheLookup::Conflict));
+        cache.insert("c".into(), 3, resp(3));
+        assert!(matches!(cache.lookup("a", 1), CacheLookup::Miss));
+        assert!(matches!(cache.lookup("b", 2), CacheLookup::Replay(_)));
+    }
+
+    #[test]
+    fn eviction_never_double_commits() {
+        // Regression for the bounded cache: once an accepted name ages
+        // out of the dedup cache, a verbatim resubmission is re-decided
+        // — and must end in a graceful reject (its actors are still
+        // committed), never in a second commit or a worker panic.
+        let registry = Arc::new(Registry::new());
+        let journal = Arc::new(Journal::new(64));
+        let theta = theta_at(&["l0"], 4, 16);
+        let (pool, handles) =
+            ShardPool::spawn(RotaPolicy, &theta, 1, 8, 1, &registry, &journal, None);
+        let timeout = Duration::from_secs(5);
+        let first = pool.admit(request_at("a", "l0", 1, 16), timeout);
+        assert!(matches!(first, Response::Decision { accepted: true, .. }), "{first:?}");
+        // Capacity is 1: admitting `b` evicts `a` from the cache.
+        let second = pool.admit(request_at("b", "l0", 1, 16), timeout);
+        assert!(matches!(second, Response::Decision { accepted: true, .. }), "{second:?}");
+        let resub = pool.admit(request_at("a", "l0", 1, 16), timeout);
+        match &resub {
+            Response::Decision {
+                accepted, reason, ..
+            } => {
+                assert!(!accepted, "evicted resubmission must not double-commit");
+                assert!(reason.contains("not installable"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match pool.stats(timeout) {
+            Response::Stats { stats, .. } => {
+                assert_eq!(stats.accepted, 2, "`a` committed exactly once");
+                assert_eq!(stats.rejected, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter("server.shard.restarts{shard=0}")
+                .unwrap_or(0),
+            0,
+            "the duplicate install is handled, not panicked on"
+        );
+        drop(pool);
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn two_phase_prepare_commit_abort_lifecycle() {
+        let registry = Arc::new(Registry::new());
+        let journal = Arc::new(Journal::new(64));
+        let theta = theta_at(&["l0"], 4, 16);
+        let (pool, handles) = ShardPool::spawn(
+            RotaPolicy,
+            &theta,
+            1,
+            8,
+            DEDUP_CAPACITY,
+            &registry,
+            &journal,
+            None,
+        );
+        let timeout = Duration::from_secs(5);
+        let ttl = Duration::from_secs(30);
+        let (epochs, basis) = pool.cluster_state(timeout).unwrap();
+        assert_eq!(epochs, vec![0]);
+        assert_eq!(basis, theta, "untouched node offers its full supply");
+        // Prepare holds the supply tentatively and bumps the epoch.
+        let prepared = pool.prepare(request_at("r1", "l0", 1, 16), &basis, &epochs, ttl, timeout);
+        assert!(matches!(&prepared, Response::Prepared { name } if name == "r1"), "{prepared:?}");
+        let (epochs2, basis2) = pool.cluster_state(timeout).unwrap();
+        assert_eq!(epochs2, vec![1]);
+        assert_ne!(basis2, theta, "the reservation is excluded from the snapshot");
+        // A prepare against the stale basis is refused, not mis-decided.
+        let stale = pool.prepare(request_at("r2", "l0", 1, 16), &basis, &epochs, ttl, timeout);
+        match &stale {
+            Response::Error { message } => assert!(message.contains("stale-epoch"), "{message}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Re-preparing the same name refreshes instead of double-holding.
+        let again = pool.prepare(request_at("r1", "l0", 1, 16), &basis, &epochs, ttl, timeout);
+        assert!(matches!(&again, Response::Prepared { name } if name == "r1"), "{again:?}");
+        assert_eq!(pool.cluster_state(timeout).unwrap().0, vec![1], "no second install");
+        // Commit is permanent and idempotent.
+        pool.commit("r1", timeout).unwrap();
+        pool.commit("r1", timeout).unwrap();
+        // Abort of a fresh reservation releases its supply.
+        let (epochs3, basis3) = pool.cluster_state(timeout).unwrap();
+        let r2 = pool.prepare(request_at("r2", "l0", 1, 16), &basis3, &epochs3, ttl, timeout);
+        assert!(matches!(r2, Response::Prepared { .. }), "{r2:?}");
+        assert!(pool.abort("r2", timeout));
+        assert!(!pool.abort("r2", timeout), "second abort finds nothing");
+        assert_eq!(
+            pool.cluster_state(timeout).unwrap().1,
+            basis3,
+            "abort restored the supply"
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("server.twopc.prepared{shard=0}"), Some(2));
+        assert_eq!(snap.counter("server.twopc.committed{shard=0}"), Some(1));
+        assert_eq!(snap.counter("server.twopc.aborted{shard=0}"), Some(1));
+        drop(pool);
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn expired_reservation_is_released_not_leaked() {
+        let registry = Arc::new(Registry::new());
+        let journal = Arc::new(Journal::new(64));
+        let theta = theta_at(&["l0"], 4, 16);
+        let (pool, handles) = ShardPool::spawn(
+            RotaPolicy,
+            &theta,
+            1,
+            8,
+            DEDUP_CAPACITY,
+            &registry,
+            &journal,
+            None,
+        );
+        let timeout = Duration::from_secs(5);
+        let (epochs, basis) = pool.cluster_state(timeout).unwrap();
+        let prepared = pool.prepare(
+            request_at("t1", "l0", 1, 16),
+            &basis,
+            &epochs,
+            Duration::from_millis(30),
+            timeout,
+        );
+        assert!(matches!(prepared, Response::Prepared { .. }), "{prepared:?}");
+        std::thread::sleep(Duration::from_millis(60));
+        // The lazy sweep runs at the head of the next message: the
+        // commit arrives too late and the hold is gone.
+        let err = pool.commit("t1", timeout).unwrap_err();
+        assert!(err.contains("expired or never prepared"), "{err}");
+        assert_eq!(
+            pool.cluster_state(timeout).unwrap().1,
+            theta,
+            "expiry returned the supply — nothing leaked"
+        );
+        assert_eq!(
+            registry.snapshot().counter("server.twopc.expired{shard=0}"),
+            Some(1)
+        );
         drop(pool);
         for handle in handles {
             handle.join().unwrap();

@@ -163,7 +163,10 @@ fn arb_request() -> impl Strategy<Value = Request> {
             let doc = resource_set_to_json(&theta);
             let resources = resources_from_json(doc.as_array().expect("sets encode as arrays"))
                 .expect("round-trip of a valid set");
-            Request::Offer { resources }
+            Request::Offer {
+                resources,
+                forwarded: false,
+            }
         }),
         (arb_computation(), 0u8..2).prop_map(|(lambda, g)| Request::Admit {
             computation: ComputationSpec::from_json(&computation_to_json(&lambda))
@@ -173,6 +176,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
             } else {
                 rota_actor::Granularity::MaximalRun
             },
+            forwarded: false,
         }),
     ]
 }

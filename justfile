@@ -1,8 +1,10 @@
 # Development shortcuts. Install `just` (https://just.systems) or copy
 # the recipe bodies into a shell.
 
-# Build, test, and lint — the bar every change must clear.
-verify:
+# Build, test, and lint — the bar every change must clear. The cluster
+# and chaos-cluster drills run first (they are also part of `cargo
+# test`, but failures there should name the federation, not a test id).
+verify: cluster chaos-cluster
     cargo build --release
     cargo test -q
     cargo clippy --workspace --all-targets -- -D warnings
@@ -41,6 +43,30 @@ serve *ARGS:
 # from `just loadtest --policy all --jobs 2000 --connections 8`.
 loadtest *ARGS:
     cargo run --release -p rota-cli --bin rota-cli -- loadtest {{ARGS}}
+
+# Federation end-to-end: gossip convergence, location routing (local /
+# forward / redirect / 2PC), offer splitting, and the 3-node-vs-merged-
+# oracle verdict-equivalence property (DESIGN.md §12).
+cluster:
+    cargo test -q -p rota-cluster --test e2e --test properties
+
+# Federation failure drills: a coordinator killed mid-2PC must leak no
+# reservations and double-commit nothing; partitions degrade to
+# structured `peer-unavailable` rejects and recover; injected resets
+# only delay gossip convergence.
+chaos-cluster:
+    cargo test -q -p rota-cluster --test chaos
+
+# Run an in-process federation from the CLI (any node admits anything).
+serve-cluster *ARGS:
+    cargo run --release -p rota-cli --bin rota-cli -- cluster {{ARGS}}
+
+# The E16 federation loadtest: connections spread round-robin over an
+# ephemeral in-process cluster; the report adds per-node stats and the
+# summed routing/2PC counters.
+loadtest-cluster *ARGS:
+    cargo run --release -p rota-cli --bin rota-cli -- loadtest --cluster 3 \
+        --jobs 2000 --connections 8 {{ARGS}}
 
 # The E14 chaos drill: deterministic faults (latency, truncation, resets,
 # one forced shard panic) against a retrying/hedging client. Must finish

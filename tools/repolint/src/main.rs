@@ -23,7 +23,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Crates whose non-test code must not panic on `Option`/`Result`.
-const NO_PANIC_CRATES: &[&str] = &["rota-server", "rota-client"];
+const NO_PANIC_CRATES: &[&str] = &["rota-server", "rota-client", "rota-cluster"];
 
 #[derive(Debug)]
 struct Finding {
